@@ -1,0 +1,192 @@
+// Command dio-cli is the interactive terminal copilot: type operator
+// questions in natural language, get the relevant metrics, the generated
+// PromQL, a numeric answer and an ASCII dashboard.
+//
+//	dio-cli                              # interactive session
+//	dio-cli -q "How many PDU sessions are currently active?"
+//	dio-cli -model gpt-3.5-turbo -dashboard=false
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"dio/internal/catalog"
+	"dio/internal/core"
+	"dio/internal/dashboard"
+	"dio/internal/feedback"
+	"dio/internal/fivegsim"
+	"dio/internal/llm"
+	"dio/internal/promql"
+	"dio/internal/sandbox"
+	"dio/internal/tsdb"
+)
+
+func main() {
+	modelName := flag.String("model", "gpt-4", "foundation model tier")
+	question := flag.String("q", "", "ask one question and exit")
+	showDash := flag.Bool("dashboard", true, "render ASCII dashboards")
+	duration := flag.Duration("duration", time.Hour, "simulated trace length")
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix("dio-cli: ")
+
+	fmt.Fprintln(os.Stderr, "dio-cli: preparing the operator environment…")
+	cat := catalog.Generate()
+	db := tsdb.New()
+	cfg := fivegsim.DefaultConfig()
+	cfg.Duration = *duration
+	if _, err := fivegsim.Populate(db, cat, cfg); err != nil {
+		log.Fatalf("populating TSDB: %v", err)
+	}
+	model, err := llm.New(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp, err := core.New(core.Config{Catalog: cat, TSDB: db, Model: model})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracker := feedback.NewTracker([]string{"r.nakamura", "a.kimura"}, nil)
+	feedback.WireCopilot(tracker, cp)
+	cp.Executor().SetAudit(sandbox.NewAuditLog(256, nil))
+
+	ctx := context.Background()
+	if *question != "" {
+		ask(ctx, cp, *question, *showDash)
+		return
+	}
+
+	fmt.Println("DIO copilot — ask about your operator data (\"quit\" to exit, \"help\" for commands).")
+	sc := bufio.NewScanner(os.Stdin)
+	var lastAnswer *core.Answer
+	for {
+		fmt.Print("\n> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "quit" || line == "exit":
+			return
+		case line == "help":
+			fmt.Println("Commands:\n  help              this message\n  quit              exit\n  expert            open an expert-assistance issue for the last answer\n  issues            list feedback issues\n  query <promql>    run PromQL directly through the sandbox\n  metrics <text>    search the domain-specific database\n  audit             show the sandboxed-query audit trail\n  anything else     a natural-language question about operator data")
+		case line == "expert":
+			if lastAnswer == nil {
+				fmt.Println("Ask a question first.")
+				continue
+			}
+			issue := feedback.OpenFromAnswer(tracker, lastAnswer)
+			fmt.Printf("Opened issue #%d for expert review.\n", issue.ID)
+		case line == "issues":
+			for _, is := range tracker.List(-1) {
+				fmt.Printf("#%d [%s] %s\n", is.ID, is.State, is.Question)
+			}
+		case strings.HasPrefix(line, "query "):
+			runQuery(ctx, cp, strings.TrimPrefix(line, "query "))
+		case strings.HasPrefix(line, "metrics "):
+			searchMetrics(cp, strings.TrimPrefix(line, "metrics "))
+		case line == "audit":
+			showAudit(cp)
+		default:
+			lastAnswer = ask(ctx, cp, line, *showDash)
+		}
+	}
+}
+
+// runQuery executes raw PromQL at the newest sample instant.
+func runQuery(ctx context.Context, cp *core.Copilot, q string) {
+	_, maxT, ok := cp.Executor().Engine().DB().TimeRange()
+	if !ok {
+		fmt.Println("(empty database)")
+		return
+	}
+	v, err := cp.Executor().Execute(ctx, q, time.UnixMilli(maxT))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(promql.FormatValue(v))
+}
+
+// searchMetrics greps the catalog: every query token must appear in the
+// metric's name or description.
+func searchMetrics(cp *core.Copilot, q string) {
+	terms := strings.Fields(strings.ToLower(q))
+	shown := 0
+	for _, m := range cp.Catalog().Metrics {
+		hay := strings.ToLower(m.Name + " " + m.Description)
+		match := true
+		for _, term := range terms {
+			if !strings.Contains(hay, term) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		fmt.Printf("  %-48s %s\n", m.Name, firstSentence(m.Description))
+		if shown++; shown >= 12 {
+			fmt.Println("  … (more matches; refine the search)")
+			return
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  no matches")
+	}
+}
+
+// showAudit prints the sandbox audit trail.
+func showAudit(cp *core.Copilot) {
+	a := cp.Executor().Audit()
+	if a == nil || a.Len() == 0 {
+		fmt.Println("  (no audited queries yet)")
+		return
+	}
+	for _, e := range a.Entries() {
+		line := fmt.Sprintf("  [%s] %-8s %s", e.Time.Format("15:04:05"), e.Outcome, e.Query)
+		if e.Error != "" {
+			line += " — " + e.Error
+		}
+		fmt.Println(line)
+	}
+}
+
+func firstSentence(s string) string {
+	if i := strings.IndexByte(s, '.'); i > 0 {
+		return s[:i+1]
+	}
+	return s
+}
+
+func ask(ctx context.Context, cp *core.Copilot, q string, showDash bool) *core.Answer {
+	ans, err := cp.Ask(ctx, q)
+	if err != nil {
+		log.Printf("ask: %v", err)
+		return nil
+	}
+	fmt.Print(core.RenderAnswer(ans))
+	if showDash && ans.Dashboard != nil {
+		_, maxT, ok := cp.Executor().Engine().DB().TimeRange()
+		if ok {
+			end := time.UnixMilli(maxT)
+			out, err := dashboard.Render(ctx, ans.Dashboard, cp.Executor(), end, 30*time.Minute, time.Minute, 60)
+			if err != nil {
+				log.Printf("dashboard: %v", err)
+			} else {
+				fmt.Println(out)
+			}
+		}
+	}
+	return ans
+}

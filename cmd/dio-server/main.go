@@ -1,0 +1,200 @@
+// Command dio-server runs the DIO copilot as an HTTP service: it generates
+// the domain-specific database, simulates the operator workload into the
+// TSDB, trains the context extractor and serves the ask/query/feedback
+// API.
+//
+//	dio-server -addr :8080 -model gpt-4 -duration 2h
+//
+// Endpoints:
+//
+//	POST /api/v1/ask                      {"question": "..."}
+//	GET  /api/v1/query?query=...&time=...
+//	GET  /api/v1/query_range?query=...&start=...&end=...&step=5m
+//	GET  /api/v1/metrics?q=registration
+//	GET  /api/v1/feedback
+//	POST /api/v1/feedback                 {"question": "..."}
+//	POST /api/v1/feedback/{id}/resolve    {"expert": "...", ...}
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"dio/internal/catalog"
+	"dio/internal/core"
+	"dio/internal/feedback"
+	"dio/internal/fivegsim"
+	"dio/internal/httpapi"
+	"dio/internal/llm"
+	"dio/internal/tsdb"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelName := flag.String("model", "gpt-4", "foundation model tier (gpt-4, gpt-3.5-turbo, text-curie-001)")
+	duration := flag.Duration("duration", 2*time.Hour, "simulated trace length")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	experts := flag.String("experts", "r.nakamura,a.kimura,m.okafor,s.ivanova", "comma-separated pre-identified experts")
+	stateDir := flag.String("state", "", "directory for persistent state (TSDB snapshot, feedback issues); empty disables persistence")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dio-server: ", log.LstdFlags)
+
+	cat := catalog.Generate()
+	var db *tsdb.DB
+	snapshotPath := ""
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			logger.Fatalf("state dir: %v", err)
+		}
+		snapshotPath = filepath.Join(*stateDir, "tsdb.snapshot")
+		if f, err := os.Open(snapshotPath); err == nil {
+			loaded, lerr := tsdb.LoadSnapshot(f)
+			f.Close()
+			if lerr != nil {
+				logger.Fatalf("loading snapshot: %v", lerr)
+			}
+			db = loaded
+			logger.Printf("restored TSDB snapshot: %d series, %d samples", db.NumSeries(), db.NumSamples())
+		}
+	}
+	if db == nil {
+		logger.Printf("generating catalog and simulating operator workload (%s)…", *duration)
+		db = tsdb.New()
+		cfg := fivegsim.DefaultConfig()
+		cfg.Duration = *duration
+		cfg.Seed = *seed
+		rep, err := fivegsim.Populate(db, cat, cfg)
+		if err != nil {
+			logger.Fatalf("populating TSDB: %v", err)
+		}
+		logger.Print(rep)
+		if snapshotPath != "" {
+			if err := saveSnapshot(db, snapshotPath); err != nil {
+				logger.Fatalf("saving snapshot: %v", err)
+			}
+			logger.Printf("saved TSDB snapshot to %s", snapshotPath)
+		}
+	}
+
+	model, err := llm.New(*modelName)
+	if err != nil {
+		logger.Fatalf("model: %v", err)
+	}
+	cp, err := core.New(core.Config{Catalog: cat, TSDB: db, Model: model})
+	if err != nil {
+		logger.Fatalf("copilot: %v", err)
+	}
+
+	tracker := feedback.NewTracker(splitComma(*experts), nil)
+	issuesPath := ""
+	if *stateDir != "" {
+		issuesPath = filepath.Join(*stateDir, "issues.json")
+		if f, err := os.Open(issuesPath); err == nil {
+			loaded, lerr := feedback.Load(f, nil)
+			f.Close()
+			if lerr != nil {
+				logger.Fatalf("loading issues: %v", lerr)
+			}
+			tracker = loaded
+			logger.Printf("restored %d feedback issues", len(tracker.List(-1)))
+		}
+	}
+	feedback.WireCopilot(tracker, cp)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(cp, tracker, logger),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM.
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		logger.Print("shutting down…")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		if issuesPath != "" {
+			if err := saveIssues(tracker, issuesPath); err != nil {
+				logger.Printf("saving issues: %v", err)
+			} else {
+				logger.Printf("saved feedback issues to %s", issuesPath)
+			}
+		}
+		close(done)
+	}()
+
+	logger.Printf("listening on %s (model %s, %d metrics, %d series)",
+		*addr, model.Name(), len(cat.Metrics), db.NumSeries())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatalf("serve: %v", err)
+	}
+	<-done
+}
+
+// saveSnapshot atomically writes the TSDB snapshot.
+func saveSnapshot(db *tsdb.DB, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// saveIssues atomically writes the feedback tracker state.
+func saveIssues(t *feedback.Tracker, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+// Capacity: customized insight without a specialist in the loop — the §1
+// scenario where an operator needs a bespoke capacity dashboard (per-slice
+// user-plane traffic plus session load) rather than the pre-built panels.
+// The copilot answers the headline questions and generates a dashboard
+// spec, which is rendered as ASCII and exported as JSON.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dio/internal/catalog"
+	"dio/internal/core"
+	"dio/internal/dashboard"
+	"dio/internal/fivegsim"
+	"dio/internal/llm"
+	"dio/internal/promql"
+	"dio/internal/tsdb"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("== DIO copilot: user-plane capacity review ==")
+
+	cat := catalog.Generate()
+	db := tsdb.New()
+	cfg := fivegsim.DefaultConfig()
+	cfg.Duration = 90 * time.Minute
+	if _, err := fivegsim.Populate(db, cat, cfg); err != nil {
+		log.Fatal(err)
+	}
+	cp, err := core.New(core.Config{Catalog: cat, TSDB: db, Model: llm.MustNew("gpt-4")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Headline capacity questions in natural language.
+	for _, q := range []string{
+		"What is the rate of downlink bytes on the N3 interface of the UPF per second?",
+		"How many PDU sessions are currently active?",
+		"What is the average CPU utilisation of the UPF instances?",
+	} {
+		ans, err := cp.Ask(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nQ: %s\nquery:  %s\nanswer: %s\n", q, ans.Query, ans.ValueText)
+	}
+
+	// A bespoke capacity dashboard over the metrics that matter, built
+	// from catalog entries (the specialists' job the copilot replaces).
+	var metrics []*catalog.Metric
+	for _, name := range []string{
+		"upfgtp_n3_dl_bytes", "upfgtp_n3_ul_bytes",
+		"smfsm_pdu_sessions_active", "upfsess_sessions_active",
+		"upf_system_cpu_usage_percent",
+	} {
+		m, ok := cat.Lookup(name)
+		if !ok {
+			log.Fatalf("metric %s missing from the catalog", name)
+		}
+		metrics = append(metrics, m)
+	}
+	d := dashboard.ForMetrics("User-plane capacity", metrics)
+
+	// Capacity forecast: where will the session count be in an hour, at
+	// the observed growth rate? (predict_linear over the last 30 minutes)
+	_, maxT0, _ := db.TimeRange()
+	at := time.UnixMilli(maxT0)
+	forecastQ := "predict_linear(smfsm_pdu_sessions_active[30m], 3600)"
+	fv, err := cp.Executor().Execute(ctx, forecastQ, at)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n-- 1-hour session forecast (%s) --\n%s\n", forecastQ, promql.FormatValue(fv))
+
+	// Export the spec (what a UI would consume)…
+	spec, err := d.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n-- dashboard spec (%d bytes of JSON, %d panels) --\n", len(spec), len(d.Panels))
+
+	// …and render it for the terminal.
+	_, maxT, _ := db.TimeRange()
+	out, err := dashboard.Render(ctx, d, cp.Executor(), time.UnixMilli(maxT), time.Hour, time.Minute, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

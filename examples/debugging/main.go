@@ -1,0 +1,109 @@
+// Debugging: the paper's motivating workflow — an operator investigating a
+// registration problem without knowing any counter names, drilling from a
+// headline success rate down to per-cause failure counters, mixing
+// natural-language questions with direct sandboxed PromQL.
+//
+//	go run ./examples/debugging
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dio/internal/catalog"
+	"dio/internal/core"
+	"dio/internal/fivegsim"
+	"dio/internal/llm"
+	"dio/internal/promql"
+	"dio/internal/tsdb"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("== DIO copilot: registration-failure investigation ==")
+
+	cat := catalog.Generate()
+	db := tsdb.New()
+	cfg := fivegsim.DefaultConfig()
+	cfg.Duration = time.Hour
+	// Inject the incident under investigation: an authentication failure
+	// spike covering the second half of the trace.
+	cfg.Anomalies = []fivegsim.Anomaly{{
+		Kind:        fivegsim.AuthFailureSpike,
+		StartOffset: 30 * time.Minute,
+		Duration:    30 * time.Minute,
+		Magnitude:   0.6,
+	}}
+	if _, err := fivegsim.Populate(db, cat, cfg); err != nil {
+		log.Fatal(err)
+	}
+	cp, err := core.New(core.Config{Catalog: cat, TSDB: db, Model: llm.MustNew("gpt-4")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Step 1: the operator notices elevated failures and asks for the
+	// headline number — no counter names needed.
+	step(1, "Is registration healthy overall?")
+	ask(ctx, cp, "What is the initial registration success rate?")
+
+	// Step 2: how fast are attempts arriving? (load vs failure)
+	step(2, "Is this a load problem?")
+	ask(ctx, cp, "What is the rate of initial registration attempts per second?")
+
+	// Step 3: how many attempts timed out? Timeouts point at a peer.
+	step(3, "Are failures actually timeouts?")
+	ask(ctx, cp, "What percentage of initial registration attempts timed out?")
+
+	// Step 4: the copilot surfaced the counter family; the operator (or a
+	// dashboard panel) drills into per-cause failure counters with direct
+	// PromQL through the same sandboxed executor.
+	step(4, "Break failures down by cause (direct PromQL via the sandbox)")
+	_, maxT, _ := db.TimeRange()
+	at := time.UnixMilli(maxT)
+	for _, cause := range catalog.FailureCauses[:5] {
+		q := fmt.Sprintf("sum(amfcc_initial_registration_failure_cause_%s)", cause)
+		v, err := cp.Executor().Execute(ctx, q, at)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		fmt.Printf("  %-28s %s\n", cause, promql.FormatValue(v))
+	}
+
+	// Step 5: confirm the suspicion against the authentication procedure
+	// the registration flow depends on.
+	step(5, "Is the dependency (authentication) the culprit?")
+	ask(ctx, cp, "What is the NAS authentication success rate?")
+
+	// Step 6: quantify the incident window against the healthy baseline
+	// with a direct windowed comparison.
+	step(6, "Compare the last 20 minutes against the cumulative baseline")
+	for _, probe := range []struct{ label, q string }{
+		{"auth success share (last 20m)", "sum(increase(amfcc_n1_auth_success[20m])) / sum(increase(amfcc_n1_auth_attempt[20m]))"},
+		{"auth success share (whole trace)", "sum(amfcc_n1_auth_success) / sum(amfcc_n1_auth_attempt)"},
+	} {
+		v, err := cp.Executor().Execute(ctx, probe.q, at)
+		if err != nil {
+			log.Fatalf("%s: %v", probe.q, err)
+		}
+		fmt.Printf("  %-34s %s\n", probe.label, promql.FormatValue(v))
+	}
+
+	fmt.Println("\nConclusion: the injected authentication failure spike is visible exactly where")
+	fmt.Println("the copilot pointed — without the operator writing a single metric name by hand.")
+}
+
+func step(n int, title string) {
+	fmt.Printf("\n--- step %d: %s ---\n", n, title)
+}
+
+func ask(ctx context.Context, cp *core.Copilot, q string) {
+	ans, err := cp.Ask(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q: %s\nquery:  %s\nanswer: %s\n", q, ans.Query, ans.ValueText)
+}

@@ -1,0 +1,105 @@
+// Feedbackloop: the §3.4 improvement cycle. An operator asks about a
+// derived entity ("registration storm indicator") that no vendor document
+// describes; the copilot cannot ground it, so the raised-hand button opens
+// a repository-style issue. A pre-identified expert resolves the issue by
+// contributing documentation that names the right counter; the
+// contribution is attributed, folded into the domain-specific database and
+// re-indexed — and the same question immediately starts working.
+//
+//	go run ./examples/feedbackloop
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dio/internal/catalog"
+	"dio/internal/core"
+	"dio/internal/feedback"
+	"dio/internal/fivegsim"
+	"dio/internal/llm"
+	"dio/internal/tsdb"
+)
+
+const question = "What is the current registration storm indicator?"
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("== DIO copilot: expert feedback loop ==")
+
+	cat := catalog.Generate()
+	db := tsdb.New()
+	cfg := fivegsim.DefaultConfig()
+	cfg.Duration = 30 * time.Minute
+	if _, err := fivegsim.Populate(db, cat, cfg); err != nil {
+		log.Fatal(err)
+	}
+	cp, err := core.New(core.Config{Catalog: cat, TSDB: db, Model: llm.MustNew("gpt-4")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracker := feedback.NewTracker([]string{"r.nakamura"}, func() time.Time {
+		return time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	})
+	feedback.WireCopilot(tracker, cp)
+	ctx := context.Background()
+
+	// 1. The question uses operator jargon absent from the vendor docs.
+	fmt.Printf("\n[1] Q: %s\n", question)
+	before, err := cp.Ask(ctx, question)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    answer before feedback: %s\n", short(before.ValueText))
+	beforeOK := before.ExecErr == nil && len(before.Metrics) > 0 && before.Metrics[0].Known
+
+	// 2. The operator presses the raised-hand button: an issue is filed
+	//    with question, context and response.
+	issue := feedback.OpenFromAnswer(tracker, before)
+	fmt.Printf("\n[2] opened issue #%d (state %s) carrying %d context documents\n",
+		issue.ID, issue.State, len(issue.Context))
+
+	// 3. Only pre-identified experts may resolve. An outsider is refused…
+	if err := tracker.Resolve(issue.ID, "mallory", feedback.Contribution{
+		MetricName: "amfcc_initial_registration_attempt", Description: "bogus",
+	}); err != nil {
+		fmt.Printf("\n[3] non-expert rejected: %v\n", err)
+	}
+
+	// …and the expert contributes the missing domain knowledge.
+	err = tracker.Resolve(issue.ID, "r.nakamura", feedback.Contribution{
+		MetricName: "amfcc_initial_registration_attempt",
+		Description: "The registration storm indicator is the fleet-wide total of initial " +
+			"registration attempts; a sudden spike of this counter signals a registration storm.",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resolved, _ := tracker.Get(issue.ID)
+	fmt.Printf("    issue #%d resolved by %s (attributed)\n", resolved.ID, resolved.Expert)
+
+	// 4. The domain-specific database grew; the same question now grounds.
+	after, err := cp.Ask(ctx, question)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n[4] Q: %s\n    answer after feedback:  %s\n    query: %s\n",
+		question, short(after.ValueText), after.Query)
+
+	if !beforeOK && after.ExecErr == nil && len(after.Metrics) > 0 && after.Metrics[0].Known {
+		fmt.Println("\nThe system improved with usage: unanswerable → answered, with expert attribution.")
+	} else {
+		fmt.Println("\nWARNING: the loop did not demonstrate an improvement.")
+		os.Exit(1)
+	}
+}
+
+func short(s string) string {
+	if len(s) > 100 {
+		return s[:100] + "…"
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+// Multivendor: the §5.1 challenge — "diverse network function vendor
+// formats". Two deployments export semantically identical metrics under
+// different vendor conventions (canonical snake_case vs vendor B's
+// camelCase peg counters). The same copilot pipeline answers the same
+// operator question against both, because each deployment's domain-specific
+// database documents its own naming — no code changes, no operator
+// retraining.
+//
+//	go run ./examples/multivendor
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dio/internal/catalog"
+	"dio/internal/core"
+	"dio/internal/fivegsim"
+	"dio/internal/llm"
+	"dio/internal/tsdb"
+	"dio/internal/vendors"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("== DIO copilot: one question, two vendor formats ==")
+
+	cat := catalog.Generate()
+	ctx := context.Background()
+	questions := []string{
+		"How many PDU sessions are currently active?",
+		"What is the initial registration success rate?",
+	}
+
+	// --- Deployment A: the canonical vendor ------------------------------
+	dbA := tsdb.New()
+	cfgA := fivegsim.DefaultConfig()
+	cfgA.Duration = 20 * time.Minute
+	if _, err := fivegsim.Populate(dbA, cat, cfgA); err != nil {
+		log.Fatal(err)
+	}
+	copilotA, err := core.New(core.Config{Catalog: cat, TSDB: dbA, Model: llm.MustNew("gpt-4")})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Deployment B: vendor B's naming scheme --------------------------
+	vb := vendors.VendorB()
+	tr, err := vendors.Translate(cat, vb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbB := tsdb.New()
+	cfgB := cfgA
+	cfgB.RenameMetric = vb.Rename
+	if _, err := fivegsim.Populate(dbB, cat, cfgB); err != nil {
+		log.Fatal(err)
+	}
+	copilotB, err := core.New(core.Config{Catalog: tr.Catalog, TSDB: dbB, Model: llm.MustNew("gpt-4")})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range questions {
+		fmt.Printf("\nQ: %s\n", q)
+		for _, d := range []struct {
+			label string
+			cp    *core.Copilot
+		}{{"vendor A (snake_case)", copilotA}, {"vendor B (camelCase)", copilotB}} {
+			ans, err := d.cp.Ask(ctx, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			status := ans.ValueText
+			if ans.ExecErr != nil {
+				status = "FAILED: " + ans.ExecErr.Error()
+			}
+			fmt.Printf("  %-22s query: %-70s answer: %s\n", d.label, ans.Query, status)
+		}
+	}
+
+	// The translation table is itself an integration artifact an operator
+	// can export.
+	fmt.Printf("\nTranslation table covers %d metrics; examples:\n", len(tr.ToVendor))
+	for _, name := range []string{"amfcc_n1_auth_request", "smfsm_pdu_sessions_active", "upfgtp_n3_dl_bytes"} {
+		fmt.Printf("  %-32s → %s\n", name, tr.ToVendor[name])
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: the smallest end-to-end DIO copilot program.
+//
+// It generates the domain-specific database (3000+ 5G-core metrics),
+// simulates an operator workload into the TSDB, builds the copilot with
+// the default paper configuration (top-29 semantic context, 20 few-shot
+// examples, GPT-4 tier, temperature 0) and asks one question.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dio/internal/catalog"
+	"dio/internal/core"
+	"dio/internal/fivegsim"
+	"dio/internal/llm"
+	"dio/internal/tsdb"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The domain-specific database: metric documentation and bespoke
+	//    expert functions.
+	cat := catalog.Generate()
+	fmt.Println("catalog:", cat.Stats())
+
+	// 2. Operator data: a simulated 5G core scraped into the TSDB.
+	db := tsdb.New()
+	cfg := fivegsim.DefaultConfig()
+	cfg.Duration = 30 * time.Minute // keep the quickstart quick
+	rep, err := fivegsim.Populate(db, cat, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+
+	// 3. The copilot: context extractor + foundation model + sandbox.
+	cp, err := core.New(core.Config{
+		Catalog: cat,
+		TSDB:    db,
+		Model:   llm.MustNew("gpt-4"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Ask in natural language.
+	ans, err := cp.Ask(context.Background(), "How many PDU sessions are currently active?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(core.RenderAnswer(ans))
+}

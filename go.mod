@@ -1,0 +1,3 @@
+module dio
+
+go 1.22

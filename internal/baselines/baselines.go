@@ -1,0 +1,192 @@
+// Package baselines implements the two compared approaches of §4.2.1:
+//
+//   - DIN-SQL, the decomposed-prompting state of the art, adapted to
+//     operator data exactly as the paper describes: the same 20 few-shot
+//     examples as DIO (with PromQL instead of SQL), and — because the full
+//     schema does not fit the context window — approximately 600 metric
+//     NAMES sampled uniformly at random as the schema section of the
+//     prompt (no documentation).
+//
+//   - GPT-4 direct prompting: the same 600-name schema subset, no few-shot
+//     examples.
+//
+// Both produce a PromQL query per question; the benchmark executes it and
+// scores execution accuracy.
+package baselines
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dio/internal/catalog"
+	"dio/internal/core"
+	"dio/internal/llm"
+	"dio/internal/promql"
+)
+
+// QuerySystem is anything that turns a question into a PromQL query (plus
+// usage accounting). The benchmark evaluates QuerySystems.
+type QuerySystem interface {
+	// Name identifies the approach in result tables.
+	Name() string
+	// GenerateQuery produces the PromQL for one question.
+	GenerateQuery(ctx context.Context, question string) (QueryResult, error)
+}
+
+// QueryResult is one generated query with its accounting.
+type QueryResult struct {
+	Query     string
+	Metrics   []string
+	Task      llm.TaskKind
+	Usage     llm.Usage
+	CostCents float64
+}
+
+// SchemaSample draws n metric names uniformly at random (seeded) from the
+// catalog — the baselines' stand-in for a schema that does not fit the
+// prompt (§4.2.1: "approximately 600 of the metric names, selected in a
+// uniformly random manner").
+func SchemaSample(db *catalog.Database, n int, seed int64) []llm.ContextDoc {
+	names := db.MetricNames()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	if n > len(names) {
+		n = len(names)
+	}
+	out := make([]llm.ContextDoc, 0, n)
+	for _, name := range names[:n] {
+		out = append(out, llm.ContextDoc{ID: name})
+	}
+	return out
+}
+
+// DINSQL is the adapted DIN-SQL baseline.
+type DINSQL struct {
+	model   *llm.Model
+	schema  []llm.ContextDoc
+	fewshot []llm.Example
+	builder *llm.Builder
+	// SelfCorrect enables DIN-SQL's self-correction stage: a retry when
+	// the first generation does not parse.
+	SelfCorrect bool
+}
+
+// NewDINSQL assembles the baseline with the paper's parameters.
+func NewDINSQL(db *catalog.Database, model *llm.Model, schemaSize int, seed int64) *DINSQL {
+	return &DINSQL{
+		model:   model,
+		schema:  SchemaSample(db, schemaSize, seed),
+		fewshot: core.FewShotExamples(),
+		builder: &llm.Builder{
+			System:      "Translate the question into a PromQL query over the listed metrics. Decompose: link schema entities, classify the question, then generate.",
+			TokenBudget: model.ContextWindow() - 1000,
+		},
+		SelfCorrect: true,
+	}
+}
+
+// Name implements QuerySystem.
+func (d *DINSQL) Name() string { return "DIN-SQL" }
+
+// GenerateQuery implements QuerySystem: schema linking and generation over
+// bare names plus the shared few-shot examples, with one self-correction
+// retry on a syntactically invalid query.
+func (d *DINSQL) GenerateQuery(ctx context.Context, question string) (QueryResult, error) {
+	res, err := d.generateOnce(question)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	if d.SelfCorrect && res.Query != "" {
+		if _, perr := promql.Parse(res.Query); perr != nil {
+			retry, rerr := d.generateOnce(question + " (fix the syntax)")
+			if rerr == nil && retry.Query != "" {
+				retry.Usage.PromptTokens += res.Usage.PromptTokens
+				retry.Usage.CompletionTokens += res.Usage.CompletionTokens
+				retry.CostCents += res.CostCents
+				return retry, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+func (d *DINSQL) generateOnce(question string) (QueryResult, error) {
+	prompt := d.builder.Build(d.schema, d.fewshot, question)
+	resp, err := d.model.Complete(llm.Request{
+		Kind: llm.KindGenerateQuery, Prompt: prompt, Temperature: 0,
+		Decomposed: true,
+	})
+	if err != nil {
+		return QueryResult{}, fmt.Errorf("baselines: DIN-SQL: %w", err)
+	}
+	return QueryResult{Query: resp.Query, Metrics: resp.Metrics, Task: resp.Task,
+		Usage: resp.Usage, CostCents: resp.CostCents}, nil
+}
+
+// Direct is the plain foundation-model baseline (zero-shot over the same
+// schema subset).
+type Direct struct {
+	model   *llm.Model
+	schema  []llm.ContextDoc
+	builder *llm.Builder
+}
+
+// NewDirect assembles the zero-shot baseline.
+func NewDirect(db *catalog.Database, model *llm.Model, schemaSize int, seed int64) *Direct {
+	return &Direct{
+		model:  model,
+		schema: SchemaSample(db, schemaSize, seed),
+		builder: &llm.Builder{
+			System:      "Write a PromQL query over the listed metrics that answers the question.",
+			TokenBudget: model.ContextWindow() - 1000,
+		},
+	}
+}
+
+// Name implements QuerySystem.
+func (g *Direct) Name() string { return "GPT-4" }
+
+// GenerateQuery implements QuerySystem.
+func (g *Direct) GenerateQuery(ctx context.Context, question string) (QueryResult, error) {
+	prompt := g.builder.Build(g.schema, nil, question)
+	resp, err := g.model.Complete(llm.Request{
+		Kind: llm.KindGenerateQuery, Prompt: prompt, Temperature: 0,
+	})
+	if err != nil {
+		return QueryResult{}, fmt.Errorf("baselines: direct: %w", err)
+	}
+	return QueryResult{Query: resp.Query, Metrics: resp.Metrics, Task: resp.Task,
+		Usage: resp.Usage, CostCents: resp.CostCents}, nil
+}
+
+// DIOAdapter exposes the DIO copilot as a QuerySystem so the benchmark can
+// evaluate all three approaches uniformly.
+type DIOAdapter struct {
+	Copilot *core.Copilot
+	Label   string
+}
+
+// Name implements QuerySystem.
+func (a *DIOAdapter) Name() string {
+	if a.Label != "" {
+		return a.Label
+	}
+	return "DIO copilot"
+}
+
+// GenerateQuery implements QuerySystem.
+func (a *DIOAdapter) GenerateQuery(ctx context.Context, question string) (QueryResult, error) {
+	ans, err := a.Copilot.Ask(ctx, question)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	var names []string
+	for _, m := range ans.Metrics {
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	return QueryResult{Query: ans.Query, Metrics: names, Task: ans.Task,
+		Usage: ans.Usage, CostCents: ans.CostCents}, nil
+}

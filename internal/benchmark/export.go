@@ -1,0 +1,73 @@
+package benchmark
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports per-question outcomes of one or more evaluation runs as
+// CSV — the artifact downstream analysis notebooks consume. One row per
+// (system, question).
+func WriteCSV(w io.Writer, results ...*Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"system", "item_id", "task", "question", "reference", "generated", "correct", "error", "cost_cents", "prompt_tokens", "completion_tokens"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, ir := range r.Items {
+			row := []string{
+				r.System,
+				strconv.Itoa(ir.Item.ID),
+				ir.Item.Task.String(),
+				ir.Item.Question,
+				ir.Item.Reference,
+				ir.Query,
+				strconv.FormatBool(ir.Correct),
+				ir.Err,
+				strconv.FormatFloat(ir.CostCents, 'f', 4, 64),
+				strconv.Itoa(ir.Usage.PromptTokens),
+				strconv.Itoa(ir.Usage.CompletionTokens),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// summaryJSON is the wire form of WriteSummaryJSON.
+type summaryJSON struct {
+	System        string            `json:"system"`
+	EX            float64           `json:"ex_percent"`
+	Correct       int               `json:"correct"`
+	Total         int               `json:"total"`
+	MeanCostCents float64           `json:"mean_cost_cents"`
+	PerTask       map[string][2]int `json:"per_task"`
+}
+
+// WriteSummaryJSON exports run summaries as a JSON array.
+func WriteSummaryJSON(w io.Writer, results ...*Result) error {
+	out := make([]summaryJSON, 0, len(results))
+	for _, r := range results {
+		s := summaryJSON{
+			System: r.System, EX: r.EX(), Correct: r.Correct, Total: r.Total,
+			MeanCostCents: r.MeanCostCents, PerTask: make(map[string][2]int, len(r.PerTask)),
+		}
+		for task, counts := range r.PerTask {
+			s.PerTask[task.String()] = counts
+		}
+		out = append(out, s)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("benchmark: encoding summary: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+// Package benchmark implements the paper's benchmark dataset and metric of
+// merit (§4.1-§4.2): 200 expert-generated questions with reference PromQL
+// expressions and numeric answers over the synthetic operator database,
+// spanning retrieval, averaging, sum and rate tasks with up to three
+// metrics per expression; and the execution-accuracy (EX) evaluator that
+// scores an approach by the percentage of questions whose generated query
+// produces a numerically matching answer.
+package benchmark
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dio/internal/catalog"
+	"dio/internal/core"
+	"dio/internal/llm"
+)
+
+// Item is one benchmark question with its reference.
+type Item struct {
+	// ID numbers the question.
+	ID int
+	// Question is the natural-language input.
+	Question string
+	// Task is the ground-truth analytics intent.
+	Task llm.TaskKind
+	// Metrics are the reference metrics, in reference-query operand order.
+	Metrics []string
+	// Reference is the expert PromQL whose execution defines the correct
+	// numeric answer.
+	Reference string
+}
+
+// DefaultSize is the paper's benchmark size.
+const DefaultSize = 200
+
+// Generate builds the deterministic benchmark dataset. Procedures and
+// gauges referenced by the few-shot training tuples are excluded, so no
+// training question leaks into evaluation.
+func Generate(db *catalog.Database, size int, seed int64) ([]Item, error) {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reservedProcs := core.ReservedProcedures()
+	reservedGauges := core.ReservedGauges()
+
+	var procs []catalog.ProcedureDef
+	for _, p := range catalog.Procedures() {
+		if !reservedProcs[p.NF+"/"+p.Service+"/"+p.Slug] {
+			procs = append(procs, p)
+		}
+	}
+	var gauges []catalog.GaugeDef
+	for _, g := range catalog.Gauges() {
+		if !reservedGauges[g.MetricName()] {
+			gauges = append(gauges, g)
+		}
+	}
+	if len(procs) == 0 || len(gauges) == 0 {
+		return nil, fmt.Errorf("benchmark: catalog has no eligible procedures or gauges")
+	}
+	rng.Shuffle(len(procs), func(i, j int) { procs[i], procs[j] = procs[j], procs[i] })
+	rng.Shuffle(len(gauges), func(i, j int) { gauges[i], gauges[j] = gauges[j], gauges[i] })
+
+	// Task mix: scaled from the paper-shaped 200-question distribution.
+	counts := map[llm.TaskKind]int{
+		llm.TaskCurrentTotal: size * 50 / 200,
+		llm.TaskAverage:      size * 20 / 200,
+		llm.TaskRate:         size * 30 / 200,
+		llm.TaskIncrease:     size * 20 / 200,
+		llm.TaskSuccessRate:  size * 40 / 200,
+		llm.TaskTimeoutShare: size * 15 / 200,
+		llm.TaskUnhappyRatio: size * 10 / 200,
+		llm.TaskTopInstance:  size * 15 / 200,
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	counts[llm.TaskCurrentTotal] += size - total // remainder to the largest class
+
+	g := &generator{rng: rng, procs: procs, gauges: gauges}
+	var items []Item
+	for _, task := range llm.AllTasks() {
+		for i := 0; i < counts[task]; i++ {
+			it := g.item(task)
+			it.ID = len(items) + 1
+			items = append(items, it)
+		}
+	}
+	// Interleave tasks deterministically so per-task runs of the
+	// evaluation do not cluster.
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	for i := range items {
+		items[i].ID = i + 1
+	}
+	return items, nil
+}
+
+// generator walks the eligible procedure/gauge lists round-robin while
+// cycling question phrasings.
+type generator struct {
+	rng    *rand.Rand
+	procs  []catalog.ProcedureDef
+	gauges []catalog.GaugeDef
+	pi, gi int
+	phrase int
+}
+
+func (g *generator) nextProc() catalog.ProcedureDef {
+	p := g.procs[g.pi%len(g.procs)]
+	g.pi++
+	return p
+}
+
+func (g *generator) nextGauge() catalog.GaugeDef {
+	x := g.gauges[g.gi%len(g.gauges)]
+	g.gi++
+	return x
+}
+
+// phrasing cycles through a procedure's (or gauge's) question phrasings,
+// including abbreviation forms like "LCS NI-LR".
+func (g *generator) phrasing(questions []string) string {
+	g.phrase++
+	return questions[g.phrase%len(questions)]
+}
+
+// trafficMetrics are the UPF byte counters usable for rate questions.
+var trafficTargets = []struct{ iface, dir, phrase string }{
+	{"n3", "dl", "downlink bytes on the N3 interface of the UPF"},
+	{"n3", "ul", "uplink bytes on the N3 interface of the UPF"},
+	{"n6", "dl", "downlink bytes on the N6 interface of the UPF"},
+	{"n9", "ul", "uplink bytes on the N9 interface of the UPF"},
+}
+
+func (g *generator) item(task llm.TaskKind) Item {
+	switch task {
+	case llm.TaskCurrentTotal:
+		// Two flavours: gauge levels and lifetime procedure totals.
+		if g.rng.Float64() < 0.3 {
+			gd := g.nextGauge()
+			ph := g.phrasing(gd.Questions)
+			tmpl := []string{
+				"How many %s are there right now?",
+				"What is the current number of %s?",
+				"What is the total number of %s across all instances?",
+			}[g.phrase%3]
+			m := gd.MetricName()
+			return Item{Question: fmt.Sprintf(tmpl, ph), Task: task,
+				Metrics: []string{m}, Reference: llm.ReferenceQuery(task, []string{m})}
+		}
+		p := g.nextProc()
+		ph := g.phrasing(p.Questions)
+		m := p.MetricName("attempt")
+		return Item{Question: fmt.Sprintf("What is the total number of %s attempts so far?", ph),
+			Task: task, Metrics: []string{m}, Reference: llm.ReferenceQuery(task, []string{m})}
+
+	case llm.TaskAverage:
+		gd := g.nextGauge()
+		ph := g.phrasing(gd.Questions)
+		m := gd.MetricName()
+		return Item{Question: fmt.Sprintf("What is the average number of %s per instance?", ph),
+			Task: task, Metrics: []string{m}, Reference: llm.ReferenceQuery(task, []string{m})}
+
+	case llm.TaskRate:
+		if g.rng.Float64() < 0.2 {
+			t := trafficTargets[g.rng.Intn(len(trafficTargets))]
+			m := "upfgtp_" + t.iface + "_" + t.dir + "_bytes"
+			return Item{Question: fmt.Sprintf("What is the rate of %s per second?", t.phrase),
+				Task: task, Metrics: []string{m}, Reference: llm.ReferenceQuery(task, []string{m})}
+		}
+		p := g.nextProc()
+		ph := g.phrasing(p.Questions)
+		m := p.MetricName("attempt")
+		return Item{Question: fmt.Sprintf("What is the rate of %s attempts per second?", ph),
+			Task: task, Metrics: []string{m}, Reference: llm.ReferenceQuery(task, []string{m})}
+
+	case llm.TaskIncrease:
+		p := g.nextProc()
+		ph := g.phrasing(p.Questions)
+		variant := []string{"attempt", "failure", "success"}[g.phrase%3]
+		word := map[string]string{"attempt": "attempts", "failure": "failures", "success": "successful completions"}[variant]
+		m := p.MetricName(variant)
+		return Item{Question: fmt.Sprintf("How many %s %s were there in the last hour?", ph, word),
+			Task: task, Metrics: []string{m}, Reference: llm.ReferenceQuery(task, []string{m})}
+
+	case llm.TaskSuccessRate:
+		p := g.nextProc()
+		ph := g.phrasing(p.Questions)
+		ms := []string{p.MetricName("success"), p.MetricName("attempt")}
+		tmpl := []string{
+			"What is the %s success rate?",
+			"What is the success rate of %s procedures?",
+		}[g.phrase%2]
+		return Item{Question: fmt.Sprintf(tmpl, ph), Task: task,
+			Metrics: ms, Reference: llm.ReferenceQuery(task, ms)}
+
+	case llm.TaskTimeoutShare:
+		p := g.nextProc()
+		ph := g.phrasing(p.Questions)
+		ms := []string{p.MetricName("timeout"), p.MetricName("attempt")}
+		return Item{Question: fmt.Sprintf("What percentage of %s attempts timed out?", ph),
+			Task: task, Metrics: ms, Reference: llm.ReferenceQuery(task, ms)}
+
+	case llm.TaskUnhappyRatio:
+		p := g.nextProc()
+		ph := g.phrasing(p.Questions)
+		ms := []string{p.MetricName("failure"), p.MetricName("timeout"), p.MetricName("attempt")}
+		return Item{Question: fmt.Sprintf("What is the ratio of %s procedures that failed or timed out to all attempts?", ph),
+			Task: task, Metrics: ms, Reference: llm.ReferenceQuery(task, ms)}
+
+	case llm.TaskTopInstance:
+		// Mix of gauge levels and lifetime procedure counters.
+		if g.rng.Float64() < 0.4 {
+			gd := g.nextGauge()
+			ph := g.phrasing(gd.Questions)
+			m := gd.MetricName()
+			tmpl := []string{
+				"Which instance has the most %s?",
+				"Which instance is the busiest by %s?",
+			}[g.phrase%2]
+			return Item{Question: fmt.Sprintf(tmpl, ph), Task: task,
+				Metrics: []string{m}, Reference: llm.ReferenceQuery(task, []string{m})}
+		}
+		p := g.nextProc()
+		ph := g.phrasing(p.Questions)
+		m := p.MetricName("attempt")
+		return Item{Question: fmt.Sprintf("Which instance has recorded the most %s attempts?", ph),
+			Task: task, Metrics: []string{m}, Reference: llm.ReferenceQuery(task, []string{m})}
+	}
+	panic("benchmark: unhandled task " + task.String())
+}
+
+// Summary renders the dataset composition.
+func Summary(items []Item) string {
+	counts := make(map[llm.TaskKind]int)
+	metrics := make(map[int]int)
+	for _, it := range items {
+		counts[it.Task]++
+		metrics[len(it.Metrics)]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d questions:", len(items))
+	for _, t := range llm.AllTasks() {
+		if counts[t] > 0 {
+			fmt.Fprintf(&b, " %s=%d", t, counts[t])
+		}
+	}
+	fmt.Fprintf(&b, "; metrics-per-expression:")
+	for k := 1; k <= 3; k++ {
+		fmt.Fprintf(&b, " %d→%d", k, metrics[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Generate expands the curated tables into the full metric catalog and
+// assembles the domain-specific database. Generation is fully
+// deterministic: the same tables always produce the same database.
+func Generate() *Database {
+	var metrics []*Metric
+	metrics = append(metrics, procedureMetrics()...)
+	metrics = append(metrics, messageMetrics()...)
+	metrics = append(metrics, gaugeMetrics()...)
+	metrics = append(metrics, resourceMetrics()...)
+	metrics = append(metrics, trafficMetrics()...)
+	return NewDatabase(metrics, BespokeFunctions())
+}
+
+// variantDescription renders the documentation sentence for one lifecycle
+// variant of a procedure, modelled on the paper's example for
+// amfcc_n1_auth_request.
+func variantDescription(p ProcedureDef, variant string) string {
+	nfUp := strings.ToUpper(p.NF)
+	long := NFLongNames[p.NF]
+	var lead string
+	switch variant {
+	case "request":
+		lead = fmt.Sprintf("The number of %s requests sent by %s.", p.Phrase, nfUp)
+	case "attempt":
+		lead = fmt.Sprintf("The number of %s procedure attempts at %s (%s).", p.Phrase, nfUp, long)
+	case "success":
+		lead = fmt.Sprintf("The number of %s procedures completed successfully at %s.", p.Phrase, nfUp)
+	case "failure":
+		lead = fmt.Sprintf("The number of %s procedures that failed at %s.", p.Phrase, nfUp)
+	case "timeout":
+		lead = fmt.Sprintf("The number of %s procedures that timed out waiting for a peer response at %s.", p.Phrase, nfUp)
+	case "reject":
+		lead = fmt.Sprintf("The number of %s procedures rejected by %s.", p.Phrase, nfUp)
+	case "abort":
+		lead = fmt.Sprintf("The number of %s procedures aborted before completion at %s.", p.Phrase, nfUp)
+	case "retransmission":
+		lead = fmt.Sprintf("The number of retransmitted %s messages during %s procedures at %s.", p.Message, p.Phrase, nfUp)
+	default:
+		lead = fmt.Sprintf("The number of %s procedure events of kind %q at %s.", p.Phrase, variant, nfUp)
+	}
+	return fmt.Sprintf("%s The %s message is defined in %s. 64-bit counter.", lead, p.Message, p.Spec)
+}
+
+func procedureMetrics() []*Metric {
+	var out []*Metric
+	for _, p := range procedures {
+		for _, v := range CounterVariants {
+			out = append(out, &Metric{
+				Name: p.MetricName(v), NF: p.NF, Service: p.Service,
+				Procedure: p.Slug, Variant: v, Type: Counter,
+				Description: variantDescription(p, v),
+				Labels:      []string{"instance"},
+			})
+		}
+		for _, cause := range FailureCauses {
+			out = append(out, &Metric{
+				Name: p.MetricName("failure_cause_" + cause), NF: p.NF,
+				Service: p.Service, Procedure: p.Slug,
+				Variant: "failure_cause_" + cause, Type: Counter,
+				Description: fmt.Sprintf(
+					"The number of %s procedure failures at %s with cause %q. Breakdown of %s. 64-bit counter.",
+					p.Phrase, strings.ToUpper(p.NF), strings.ReplaceAll(cause, "_", " "), p.MetricName("failure")),
+				Labels: []string{"instance"},
+			})
+		}
+		for _, cause := range RejectCauses {
+			out = append(out, &Metric{
+				Name: p.MetricName("reject_cause_" + cause), NF: p.NF,
+				Service: p.Service, Procedure: p.Slug,
+				Variant: "reject_cause_" + cause, Type: Counter,
+				Description: fmt.Sprintf(
+					"The number of %s procedures rejected by %s with cause %q. Breakdown of %s. 64-bit counter.",
+					p.Phrase, strings.ToUpper(p.NF), strings.ReplaceAll(cause, "_", " "), p.MetricName("reject")),
+				Labels: []string{"instance"},
+			})
+		}
+		// Duration histogram family (bucket/sum/count are distinct series
+		// families in vendor documentation).
+		base := p.MetricName("duration_seconds")
+		out = append(out,
+			&Metric{Name: base + "_bucket", NF: p.NF, Service: p.Service,
+				Procedure: p.Slug, Variant: "duration_bucket", Type: HistogramBucket, Unit: "seconds",
+				Description: fmt.Sprintf("Cumulative histogram of %s procedure duration at %s, in seconds, bucketed by the le label. %s", p.Phrase, strings.ToUpper(p.NF), MetricTypeSentence(HistogramBucket)),
+				Labels:      []string{"instance", "le"}},
+			&Metric{Name: base + "_sum", NF: p.NF, Service: p.Service,
+				Procedure: p.Slug, Variant: "duration_sum", Type: HistogramSum, Unit: "seconds",
+				Description: fmt.Sprintf("Sum of observed %s procedure durations at %s, in seconds. %s", p.Phrase, strings.ToUpper(p.NF), MetricTypeSentence(HistogramSum)),
+				Labels:      []string{"instance"}},
+			&Metric{Name: base + "_count", NF: p.NF, Service: p.Service,
+				Procedure: p.Slug, Variant: "duration_count", Type: HistogramCount,
+				Description: fmt.Sprintf("Count of observed %s procedure durations at %s. %s", p.Phrase, strings.ToUpper(p.NF), MetricTypeSentence(HistogramCount)),
+				Labels:      []string{"instance"}},
+		)
+	}
+	return out
+}
+
+// MetricTypeSentence renders the trailing type sentence of a description.
+func MetricTypeSentence(t MetricType) string {
+	switch t {
+	case Counter:
+		return "64-bit counter."
+	case Gauge:
+		return "Gauge."
+	case HistogramBucket:
+		return "Cumulative 64-bit bucket counter."
+	case HistogramSum:
+		return "64-bit sum counter."
+	case HistogramCount:
+		return "64-bit count counter."
+	}
+	return ""
+}
+
+func messageMetrics() []*Metric {
+	var out []*Metric
+	for _, group := range messagesCompact {
+		for _, slug := range group.slugs {
+			phrase := strings.ToUpper(strings.ReplaceAll(slug, "_", " "))
+			prefix := group.nf + group.service + "_" + slug
+			nfUp := strings.ToUpper(group.nf)
+			out = append(out,
+				&Metric{Name: prefix + "_tx", NF: group.nf, Service: group.service,
+					Variant: "tx", Type: Counter,
+					Description: fmt.Sprintf("The number of %s messages transmitted by %s on the %s interface. The message is defined in %s. 64-bit counter.",
+						phrase, nfUp, strings.ToUpper(group.service), group.spec),
+					Labels: []string{"instance"}},
+				&Metric{Name: prefix + "_rx", NF: group.nf, Service: group.service,
+					Variant: "rx", Type: Counter,
+					Description: fmt.Sprintf("The number of %s messages received by %s on the %s interface. The message is defined in %s. 64-bit counter.",
+						phrase, nfUp, strings.ToUpper(group.service), group.spec),
+					Labels: []string{"instance"}},
+				&Metric{Name: prefix + "_error", NF: group.nf, Service: group.service,
+					Variant: "error", Type: Counter,
+					Description: fmt.Sprintf("The number of %s messages that could not be encoded, decoded or delivered at %s. The message is defined in %s. 64-bit counter.",
+						phrase, nfUp, group.spec),
+					Labels: []string{"instance"}},
+			)
+		}
+	}
+	return out
+}
+
+func gaugeMetrics() []*Metric {
+	var out []*Metric
+	for _, g := range gauges {
+		out = append(out, &Metric{
+			Name: g.MetricName(), NF: g.NF, Service: g.Service, Type: Gauge,
+			Unit: g.Unit,
+			Description: fmt.Sprintf("The number of %s at %s (%s). Gauge.",
+				g.Phrase, strings.ToUpper(g.NF), NFLongNames[g.NF]),
+			Labels: []string{"instance"},
+		})
+	}
+	return out
+}
+
+func resourceMetrics() []*Metric {
+	var out []*Metric
+	for _, nf := range NFNames() {
+		for _, r := range resources {
+			out = append(out, &Metric{
+				Name: nf + "_system_" + r.Slug, NF: nf, Service: "system",
+				Variant: r.Slug, Type: r.Type, Unit: r.Unit,
+				Description: fmt.Sprintf("%s of the %s (%s) workload. %s",
+					capitalize(r.Phrase), strings.ToUpper(nf), NFLongNames[nf], MetricTypeSentence(r.Type)),
+				Labels: []string{"instance"},
+			})
+		}
+	}
+	return out
+}
+
+func trafficMetrics() []*Metric {
+	var out []*Metric
+	for _, iface := range trafficInterfaces {
+		for _, dir := range trafficDirections {
+			for _, k := range trafficKinds {
+				dirPhrase := "uplink"
+				if dir == "dl" {
+					dirPhrase = "downlink"
+				}
+				out = append(out, &Metric{
+					Name: "upfgtp_" + iface + "_" + dir + "_" + k.kind,
+					NF:   "upf", Service: "gtp", Variant: k.kind, Type: Counter,
+					Unit: k.unit,
+					Description: fmt.Sprintf("The number of %s %s on the %s interface of the UPF (User Plane Function). 64-bit counter.",
+						dirPhrase, k.phrase, strings.ToUpper(iface)),
+					Labels: []string{"instance"},
+				})
+			}
+		}
+	}
+	return out
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

@@ -1,0 +1,317 @@
+// Package core implements the paper's primary contribution: the DIO
+// copilot pipeline (§3). A question flows through the context extractor
+// (semantic search over the domain-specific database, top-29 documents),
+// foundation-model metric selection, few-shot PromQL generation (20
+// expert tuples), sandboxed execution against the operator TSDB, and
+// dashboard generation; the response carries the relevant metrics with
+// their documentation, the query, a numerically accurate answer, the
+// dashboard spec, and a hook to request expert assistance (§3.4).
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"dio/internal/catalog"
+	"dio/internal/dashboard"
+	"dio/internal/llm"
+	"dio/internal/promql"
+	"dio/internal/sandbox"
+	"dio/internal/tsdb"
+)
+
+// Options tunes the pipeline. Defaults reproduce the paper's setup (§4).
+type Options struct {
+	// TopK is how many text samples the context extractor appends
+	// (the paper uses 29).
+	TopK int
+	// FewShot is how many expert examples enter the prompt (paper: 20).
+	FewShot int
+	// MaxOutputTokens caps completions (paper: 1000).
+	MaxOutputTokens int
+	// Temperature: the paper sets 0 "for repeatable answers".
+	Temperature float64
+	// EvalTime fixes the query evaluation instant; zero means the newest
+	// sample in the store.
+	EvalTime time.Time
+}
+
+// DefaultOptions mirrors §4.
+func DefaultOptions() Options {
+	return Options{TopK: 29, FewShot: 20, MaxOutputTokens: 1000, Temperature: 0}
+}
+
+// SelectedMetric is one metric in an answer, with its documentation.
+type SelectedMetric struct {
+	Name        string
+	Description string
+	Known       bool // present in the domain-specific database
+}
+
+// Answer is the copilot response surface of Figure 1b.
+type Answer struct {
+	Question string
+	// Task is the analytics intent the model inferred.
+	Task llm.TaskKind
+	// Metrics are the most relevant metrics with their documentation.
+	Metrics []SelectedMetric
+	// Query is the generated PromQL.
+	Query string
+	// Value is the executed numeric result (nil when execution failed).
+	Value promql.Value
+	// ValueText is the rendered numeric answer or the error message.
+	ValueText string
+	// ExecErr holds the execution failure, if any.
+	ExecErr error
+	// Function names the bespoke domain-database recipe the generated
+	// query instantiates, when one matches ("" otherwise).
+	Function string
+	// Dashboard is the generated visualisation spec for the relevant
+	// metrics.
+	Dashboard *dashboard.Dashboard
+	// Context is the retrieved top-K context (for transparency and the
+	// feedback loop).
+	Context []llm.ContextDoc
+	// Usage/CostCents aggregate the model calls of this answer.
+	Usage     llm.Usage
+	CostCents float64
+}
+
+// Copilot is the assembled DIO pipeline. It is safe for concurrent use.
+type Copilot struct {
+	db        *catalog.Database
+	retriever *Retriever
+	model     *llm.Model
+	exec      *sandbox.Executor
+	fewshot   []llm.Example
+	opts      Options
+}
+
+// Config assembles a Copilot.
+type Config struct {
+	Catalog *catalog.Database
+	TSDB    *tsdb.DB
+	Model   *llm.Model
+	Options Options
+	// Retriever overrides the default flat-index retriever (ablations use
+	// an IVF index); nil builds the default.
+	Retriever *Retriever
+	// Limits overrides the sandbox limits.
+	Limits *sandbox.Limits
+}
+
+// New builds the pipeline: trains/indexes the context extractor over the
+// domain-specific database and wires the sandboxed executor.
+func New(cfg Config) (*Copilot, error) {
+	if cfg.Catalog == nil || cfg.TSDB == nil || cfg.Model == nil {
+		return nil, fmt.Errorf("core: catalog, tsdb and model are required")
+	}
+	opts := cfg.Options
+	if opts == (Options{}) {
+		opts = DefaultOptions()
+	}
+	r := cfg.Retriever
+	if r == nil {
+		var err error
+		r, err = NewRetriever(cfg.Catalog, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	limits := sandbox.DefaultLimits()
+	if cfg.Limits != nil {
+		limits = *cfg.Limits
+	}
+	few := FewShotExamples()
+	if opts.FewShot < len(few) {
+		few = few[:opts.FewShot]
+	}
+	return &Copilot{
+		db:        cfg.Catalog,
+		retriever: r,
+		model:     cfg.Model,
+		exec:      sandbox.New(cfg.TSDB, limits),
+		fewshot:   few,
+		opts:      opts,
+	}, nil
+}
+
+// Model returns the underlying foundation model.
+func (c *Copilot) Model() *llm.Model { return c.model }
+
+// Retriever returns the context extractor.
+func (c *Copilot) Retriever() *Retriever { return c.retriever }
+
+// Executor returns the sandboxed query executor.
+func (c *Copilot) Executor() *sandbox.Executor { return c.exec }
+
+// Catalog returns the domain-specific database.
+func (c *Copilot) Catalog() *catalog.Database { return c.db }
+
+// evalTime resolves the evaluation instant.
+func (c *Copilot) evalTime() time.Time {
+	if !c.opts.EvalTime.IsZero() {
+		return c.opts.EvalTime
+	}
+	if _, maxT, ok := c.exec.Engine().DB().TimeRange(); ok {
+		return time.UnixMilli(maxT)
+	}
+	return time.Unix(0, 0)
+}
+
+// promptBudget returns the token budget left for context after reserving
+// completion space.
+func (c *Copilot) promptBudget() int {
+	return c.model.ContextWindow() - c.opts.MaxOutputTokens
+}
+
+// Ask runs the full pipeline for one question.
+func (c *Copilot) Ask(ctx context.Context, question string) (*Answer, error) {
+	if strings.TrimSpace(question) == "" {
+		return nil, fmt.Errorf("core: empty question")
+	}
+	a := &Answer{Question: question}
+
+	// 1. Context extraction: top-K semantically closest text samples.
+	a.Context = c.retriever.Retrieve(question, c.opts.TopK)
+
+	builder := &llm.Builder{
+		System:      "You are a data analytics assistant for 5G operator metrics. Identify the relevant metrics and produce a PromQL query answering the question.",
+		TokenBudget: c.promptBudget(),
+	}
+
+	// 2. Metric selection by the foundation model over the filtered set.
+	// Descriptions are clipped to their leading tokens in the prompt —
+	// enough to disambiguate, while keeping per-query token cost near the
+	// paper's (§4.2.5).
+	clipped := make([]llm.ContextDoc, len(a.Context))
+	for i, d := range a.Context {
+		clipped[i] = llm.ContextDoc{ID: d.ID, Text: llm.TruncateToTokens(d.Text, 24)}
+	}
+	selPrompt := builder.Build(clipped, nil, question)
+	selResp, err := c.model.Complete(llm.Request{
+		Kind: llm.KindSelectMetrics, Prompt: selPrompt, Temperature: c.opts.Temperature,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: metric selection: %w", err)
+	}
+	c.accumulate(a, selResp)
+	a.Task = selResp.Task
+
+	// 3. Few-shot code generation over the selected metrics.
+	selDocs := make([]llm.ContextDoc, 0, len(selResp.Metrics))
+	for _, name := range selResp.Metrics {
+		if d, ok := c.retriever.Doc(name); ok {
+			selDocs = append(selDocs, llm.ContextDoc{ID: d.ID, Text: llm.TruncateToTokens(d.Text, 24)})
+		} else {
+			selDocs = append(selDocs, llm.ContextDoc{ID: name})
+		}
+	}
+	genPrompt := builder.Build(selDocs, c.fewshot, question)
+	genResp, err := c.model.Complete(llm.Request{
+		Kind: llm.KindGenerateQuery, Prompt: genPrompt,
+		Metrics: selResp.Metrics, Task: selResp.Task,
+		Temperature: c.opts.Temperature,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: code generation: %w", err)
+	}
+	c.accumulate(a, genResp)
+	a.Query = genResp.Query
+	if a.Task == llm.TaskUnknown {
+		a.Task = genResp.Task
+	}
+
+	// Describe the selected metrics.
+	for _, name := range genResp.Metrics {
+		sm := SelectedMetric{Name: name}
+		if m, ok := c.db.Lookup(name); ok {
+			sm.Description = m.Description
+			sm.Known = true
+		}
+		a.Metrics = append(a.Metrics, sm)
+	}
+
+	// 4. Sandboxed execution for a numerically accurate answer.
+	if a.Query == "" {
+		a.ExecErr = fmt.Errorf("core: the model produced no query")
+		a.ValueText = selResp.Text
+	} else {
+		v, execErr := c.exec.Execute(ctx, a.Query, c.evalTime())
+		if execErr != nil {
+			a.ExecErr = execErr
+			a.ValueText = "execution failed: " + execErr.Error()
+		} else {
+			a.Value = v
+			a.ValueText = promql.FormatValue(v)
+		}
+	}
+
+	// Annotate the answer when the generated query instantiates one of
+	// the domain-specific database's bespoke function recipes (§3.1).
+	if a.Query != "" {
+		for _, fn := range c.db.Functions {
+			if fn.Arity != len(genResp.Metrics) {
+				continue
+			}
+			if expanded, err := fn.Expand(genResp.Metrics...); err == nil && expanded == a.Query {
+				a.Function = fn.Name
+				break
+			}
+		}
+	}
+
+	// 5. Dashboard generation for the relevant metrics.
+	var known []*catalog.Metric
+	for _, sm := range a.Metrics {
+		if m, ok := c.db.Lookup(sm.Name); ok {
+			known = append(known, m)
+		}
+	}
+	if len(known) > 0 {
+		a.Dashboard = dashboard.ForMetrics("DIO: "+question, known)
+	}
+	return a, nil
+}
+
+// accumulate folds one model response's usage into the answer.
+func (c *Copilot) accumulate(a *Answer, r llm.Response) {
+	a.Usage.PromptTokens += r.Usage.PromptTokens
+	a.Usage.CompletionTokens += r.Usage.CompletionTokens
+	a.CostCents += r.CostCents
+}
+
+// RenderAnswer formats an answer for terminal display (the Figure 1b
+// response surface, including the expert-assistance affordance).
+func RenderAnswer(a *Answer) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Q: %s\n\n", a.Question)
+	if len(a.Metrics) > 0 {
+		b.WriteString("Relevant metrics:\n")
+		for _, m := range a.Metrics {
+			if m.Known {
+				fmt.Fprintf(&b, "  - %s — %s\n", m.Name, m.Description)
+			} else {
+				fmt.Fprintf(&b, "  - %s (not in the domain-specific database)\n", m.Name)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if a.Query != "" {
+		fmt.Fprintf(&b, "Query:\n  %s\n", a.Query)
+		if a.Function != "" {
+			fmt.Fprintf(&b, "  (bespoke function: %s)\n", a.Function)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "Answer:\n  %s\n\n", a.ValueText)
+	if a.Dashboard != nil {
+		fmt.Fprintf(&b, "Dashboard: %d panel(s) generated.\n", len(a.Dashboard.Panels))
+	}
+	fmt.Fprintf(&b, "Cost: %.2f cents (%d prompt + %d completion tokens)\n",
+		a.CostCents, a.Usage.PromptTokens, a.Usage.CompletionTokens)
+	b.WriteString("[👍] [👎] [🙋 request expert assistance]\n")
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"dio/internal/catalog"
+	"dio/internal/llm"
+)
+
+// This file holds the 20 expert-generated few-shot tuples of §4: "user
+// query, corresponding context, relevant metrics and the PromQL query that
+// generates the correct output". The procedures they reference are
+// reserved — the benchmark generator excludes them, honouring the paper's
+// "none of the training questions ... are incorporated into the benchmark
+// dataset".
+
+// fewShotSpec is the compact form one example expands from.
+type fewShotSpec struct {
+	question string
+	task     llm.TaskKind
+	metrics  []string
+	// procKey reserves a procedure ("nf/service/slug"), empty for gauges.
+	procKey string
+}
+
+var fewShotSpecs = []fewShotSpec{
+	{question: "How many UE configuration update attempts have there been in total?",
+		task: llm.TaskCurrentTotal, metrics: []string{"amfcc_config_update_attempt"}, procKey: "amf/cc/config_update"},
+	{question: "What is the UE configuration update success rate?",
+		task: llm.TaskSuccessRate, metrics: []string{"amfcc_config_update_success", "amfcc_config_update_attempt"}, procKey: "amf/cc/config_update"},
+	{question: "What is the rate of RAN configuration update attempts per second?",
+		task: llm.TaskRate, metrics: []string{"amfmm_ran_config_update_attempt"}, procKey: "amf/mm/ran_config_update"},
+	{question: "How many RAN configuration update failures were there in the last hour?",
+		task: llm.TaskIncrease, metrics: []string{"amfmm_ran_config_update_failure"}, procKey: "amf/mm/ran_config_update"},
+	{question: "What is the NAS non-delivery indication success rate?",
+		task: llm.TaskSuccessRate, metrics: []string{"amfmm_nas_non_delivery_success", "amfmm_nas_non_delivery_attempt"}, procKey: "amf/mm/nas_non_delivery"},
+	{question: "What is the average number of active event exposure subscriptions per instance?",
+		task: llm.TaskAverage, metrics: []string{"amfee_active_subscriptions"}},
+	{question: "What is the rate of N1N2 message transfer requests per second?",
+		task: llm.TaskRate, metrics: []string{"amfee_n1n2_transfer_request"}, procKey: "amf/ee/n1n2_transfer"},
+	{question: "What percentage of event exposure subscription attempts timed out?",
+		task: llm.TaskTimeoutShare, metrics: []string{"amfee_event_subscribe_timeout", "amfee_event_subscribe_attempt"}, procKey: "amf/ee/event_subscribe"},
+	{question: "What is the initial charging data request success rate?",
+		task: llm.TaskSuccessRate, metrics: []string{"smfch_charging_data_initial_success", "smfch_charging_data_initial_attempt"}, procKey: "smf/ch/charging_data_initial"},
+	{question: "How many charging data updates were there in the last hour?",
+		task: llm.TaskIncrease, metrics: []string{"smfch_charging_data_update_attempt"}, procKey: "smf/ch/charging_data_update"},
+	{question: "What is the ratio of SM policy association establishment procedures that failed or timed out to all attempts?",
+		task: llm.TaskUnhappyRatio, metrics: []string{"smfch_policy_assoc_establishment_failure", "smfch_policy_assoc_establishment_timeout", "smfch_policy_assoc_establishment_attempt"}, procKey: "smf/ch/policy_assoc_establishment"},
+	{question: "What is the rate of final charging data requests per second?",
+		task: llm.TaskRate, metrics: []string{"smfch_charging_data_final_request"}, procKey: "smf/ch/charging_data_final"},
+	{question: "What is the EPS bearer ID assignment success rate?",
+		task: llm.TaskSuccessRate, metrics: []string{"smfsm_ebi_assignment_success", "smfsm_ebi_assignment_attempt"}, procKey: "smf/sm/ebi_assignment"},
+	{question: "Which instance has the most open connections to the state database at the SMF?",
+		task: llm.TaskTopInstance, metrics: []string{"smf_system_db_connections"}},
+	{question: "What is the NF status unsubscription success rate?",
+		task: llm.TaskSuccessRate, metrics: []string{"nrfnfm_nf_status_unsubscribe_success", "nrfnfm_nf_status_unsubscribe_attempt"}, procKey: "nrf/nfm/nf_status_unsubscribe"},
+	{question: "How many NSSAI availability unsubscription attempts were there in the last hour?",
+		task: llm.TaskIncrease, metrics: []string{"nssfsel_nssai_availability_unsubscribe_attempt"}, procKey: "nssf/sel/nssai_availability_unsubscribe"},
+	{question: "What is the dead peer detection success rate?",
+		task: llm.TaskSuccessRate, metrics: []string{"n3iwfike_dpd_success", "n3iwfike_dpd_attempt"}, procKey: "n3iwf/ike/dpd"},
+	{question: "What percentage of usage reporting rule report attempts timed out?",
+		task: llm.TaskTimeoutShare, metrics: []string{"upfsess_urr_report_timeout", "upfsess_urr_report_attempt"}, procKey: "upf/sess/urr_report"},
+	{question: "What is the average CPU utilisation of the UPF instances?",
+		task: llm.TaskAverage, metrics: []string{"upf_system_cpu_usage_percent"}},
+	{question: "What is the total number of GTP-U error indications so far?",
+		task: llm.TaskCurrentTotal, metrics: []string{"upfgtp_error_indication_attempt"}, procKey: "upf/gtp/error_indication"},
+}
+
+// FewShotExamples expands the expert tuples into prompt examples using the
+// canonical reference patterns. The paper feeds these 20 tuples into every
+// prompt (§4); the DIN-SQL baseline reuses the same examples.
+func FewShotExamples() []llm.Example {
+	out := make([]llm.Example, 0, len(fewShotSpecs))
+	for _, s := range fewShotSpecs {
+		out = append(out, llm.Example{
+			Question: s.question,
+			Metrics:  s.metrics,
+			Task:     s.task,
+			Query:    llm.ReferenceQuery(s.task, s.metrics),
+		})
+	}
+	return out
+}
+
+// ReservedProcedures returns the "nf/service/slug" keys used by few-shot
+// examples; the benchmark excludes them so no training question leaks into
+// evaluation.
+func ReservedProcedures() map[string]bool {
+	out := make(map[string]bool)
+	for _, s := range fewShotSpecs {
+		if s.procKey != "" {
+			out[s.procKey] = true
+		}
+	}
+	return out
+}
+
+// ReservedGauges returns gauge metric names referenced by few-shot
+// examples.
+func ReservedGauges() map[string]bool {
+	out := make(map[string]bool)
+	for _, s := range fewShotSpecs {
+		if s.procKey == "" {
+			for _, m := range s.metrics {
+				out[m] = true
+			}
+		}
+	}
+	return out
+}
+
+// validateFewShot cross-checks the tuples against a catalog (used by
+// tests): every referenced metric must exist.
+func validateFewShot(db *catalog.Database) []string {
+	var missing []string
+	for _, s := range fewShotSpecs {
+		for _, m := range s.metrics {
+			if _, ok := db.Lookup(m); !ok {
+				missing = append(missing, m)
+			}
+		}
+	}
+	return missing
+}

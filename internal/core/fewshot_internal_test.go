@@ -1,0 +1,15 @@
+package core
+
+import (
+	"testing"
+
+	"dio/internal/catalog"
+)
+
+// TestValidateFewShot cross-checks the expert tuples against a freshly
+// generated catalog.
+func TestValidateFewShot(t *testing.T) {
+	if missing := validateFewShot(catalog.Generate()); len(missing) > 0 {
+		t.Fatalf("few-shot tuples reference missing metrics: %v", missing)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"dio/internal/catalog"
+	"dio/internal/embedding"
+	"dio/internal/llm"
+	"dio/internal/vecstore"
+)
+
+// Retriever is the context extractor of §3.2: it embeds the text samples
+// of the domain-specific database offline, embeds each user query online,
+// and returns the top-K documents by cosine similarity — the curated
+// context that fits within the model's prompt budget.
+type Retriever struct {
+	model *embedding.Model
+	index vecstore.Index
+	docs  map[string]catalog.Document
+}
+
+// NewRetriever indexes the documents of the domain-specific database using
+// an embedding model trained on that corpus with the expert lexicon — the
+// all-MiniLM-L6-v2 + FAISS role of the paper's implementation.
+func NewRetriever(db *catalog.Database, index vecstore.Index) (*Retriever, error) {
+	docs := db.Documents()
+	corpus := make([]string, len(docs))
+	for i, d := range docs {
+		corpus[i] = d.Text
+	}
+	model := embedding.Train(corpus, embedding.DomainLexicon(), embedding.DefaultOptions())
+	if index == nil {
+		index = vecstore.NewFlat(model.Dim())
+	}
+	r := &Retriever{model: model, index: index, docs: make(map[string]catalog.Document, len(docs))}
+	for _, d := range docs {
+		if err := index.Add(d.ID, model.Embed(d.Text)); err != nil {
+			return nil, fmt.Errorf("core: indexing %s: %w", d.ID, err)
+		}
+		r.docs[d.ID] = d
+	}
+	return r, nil
+}
+
+// EmbeddingModel exposes the trained embedder (benchmarks and the
+// vector-store ablation reuse it).
+func (r *Retriever) EmbeddingModel() *embedding.Model { return r.model }
+
+// AddDocument indexes one new document (expert contributions arriving
+// through the feedback loop).
+func (r *Retriever) AddDocument(d catalog.Document) error {
+	if err := r.index.Add(d.ID, r.model.Embed(d.Text)); err != nil {
+		return err
+	}
+	r.docs[d.ID] = d
+	return nil
+}
+
+// Doc returns the indexed document with the given ID.
+func (r *Retriever) Doc(id string) (catalog.Document, bool) {
+	d, ok := r.docs[id]
+	return d, ok
+}
+
+// Retrieve returns the top-k documents semantically closest to the query,
+// as prompt-ready context docs, best first.
+func (r *Retriever) Retrieve(query string, k int) []llm.ContextDoc {
+	qv := r.model.Embed(query)
+	hits := r.index.Search(qv, k)
+	out := make([]llm.ContextDoc, 0, len(hits))
+	for _, h := range hits {
+		d, ok := r.docs[h.ID]
+		if !ok {
+			continue
+		}
+		out = append(out, llm.ContextDoc{ID: d.ID, Text: d.Text})
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"dio/internal/catalog"
+	"dio/internal/core"
+	"dio/internal/testenv"
+)
+
+func TestRetrieverDocLookup(t *testing.T) {
+	_, _, r, err := testenv.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := r.Doc("amfcc_n1_auth_request")
+	if !ok || d.Metric == nil {
+		t.Fatalf("doc lookup failed: %+v ok=%v", d, ok)
+	}
+	if !strings.Contains(d.Text, "authentication requests sent by AMF") {
+		t.Errorf("doc text = %q", d.Text)
+	}
+	if _, ok := r.Doc("nonexistent"); ok {
+		t.Error("unexpected doc hit")
+	}
+}
+
+func TestRetrieverIndexesFunctionDocs(t *testing.T) {
+	_, _, r, err := testenv.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bespoke function definitions are part of the domain-specific
+	// database and must be retrievable by their described purpose.
+	docs := r.Retrieve("how do I convert a byte counter into gigabits per second throughput", 29)
+	found := false
+	for _, d := range docs {
+		if d.ID == "function:traffic_gbps" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("traffic_gbps function doc not retrieved; top: %v", idsOf(docs[:8]))
+	}
+}
+
+func TestRetrieverAddDocumentReplaces(t *testing.T) {
+	// Build an isolated retriever: this test mutates the index.
+	cat := catalog.Generate()
+	r, err := core.NewRetriever(cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "amfmm_paging_attempt"
+	// Re-index the doc with distinctive jargon; the flat index must
+	// replace the vector, not duplicate it.
+	before := r.Retrieve("zanzibar gateway overload factor", 5)
+	if len(before) > 0 && before[0].ID == id {
+		t.Skip("jargon accidentally matches before contribution")
+	}
+	err = r.AddDocument(catalog.Document{ID: id, Text: id + ": The zanzibar gateway overload factor. Expert note."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := r.Retrieve("zanzibar gateway overload factor", 5)
+	if len(after) == 0 || after[0].ID != id {
+		t.Fatalf("contributed doc not retrieved first: %v", idsOf(after))
+	}
+	// The prompt-facing doc text is updated too.
+	d, _ := r.Doc(id)
+	if !strings.Contains(d.Text, "zanzibar") {
+		t.Errorf("doc text not replaced: %q", d.Text)
+	}
+}

@@ -1,0 +1,42 @@
+package feedback
+
+import (
+	"dio/internal/catalog"
+	"dio/internal/core"
+)
+
+// WireCopilot connects a tracker to a copilot's domain-specific database
+// and retriever: every resolved contribution is added to the catalog
+// (attributed to the expert) and re-indexed, so later questions can
+// retrieve it — the "system that improves with usage" of §3.4.
+func WireCopilot(t *Tracker, cp *core.Copilot) {
+	t.OnResolve(func(c Contribution, expert string) error {
+		m := cp.Catalog().AddExpertMetricDoc(c.MetricName, c.Description, expert)
+		if err := cp.Retriever().AddDocument(catalog.Document{ID: m.Name, Text: m.Doc(), Metric: m}); err != nil {
+			return err
+		}
+		if c.FunctionName != "" {
+			fn := &catalog.FunctionDef{
+				Name:        c.FunctionName,
+				Description: c.Description,
+				Template:    c.FunctionTemplate,
+				Arity:       c.FunctionArity,
+				Author:      expert,
+			}
+			cp.Catalog().AddFunction(fn)
+			return cp.Retriever().AddDocument(catalog.Document{ID: "function:" + fn.Name, Text: fn.Doc(), Function: fn})
+		}
+		return nil
+	})
+}
+
+// OpenFromAnswer files an issue for an unsatisfying copilot answer,
+// carrying question, retrieved context, response text and query — the
+// payload §3.4 specifies.
+func OpenFromAnswer(t *Tracker, a *core.Answer) *Issue {
+	ids := make([]string, 0, len(a.Context))
+	for _, d := range a.Context {
+		ids = append(ids, d.ID)
+	}
+	return t.Open(a.Question, a.ValueText, a.Query, ids)
+}

@@ -1,0 +1,91 @@
+package fivegsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// AnomalyKind enumerates injectable fault scenarios. Anomalies give traces
+// realistic incidents for debugging workflows and detection tests.
+type AnomalyKind int
+
+// Anomaly kinds.
+const (
+	// RegistrationStorm multiplies the UE arrival rate (signalling storm).
+	RegistrationStorm AnomalyKind = iota
+	// AuthFailureSpike degrades the authentication success probability,
+	// cascading into registration failures.
+	AuthFailureSpike
+	// TrafficDropSurge multiplies the user-plane packet drop rate
+	// (congested UPF).
+	TrafficDropSurge
+)
+
+// String names the anomaly kind.
+func (k AnomalyKind) String() string {
+	switch k {
+	case RegistrationStorm:
+		return "registration_storm"
+	case AuthFailureSpike:
+		return "auth_failure_spike"
+	case TrafficDropSurge:
+		return "traffic_drop_surge"
+	}
+	return fmt.Sprintf("AnomalyKind(%d)", int(k))
+}
+
+// Anomaly is one injected incident window.
+type Anomaly struct {
+	Kind AnomalyKind
+	// StartOffset is when the incident begins, relative to trace start.
+	StartOffset time.Duration
+	// Duration is how long it lasts.
+	Duration time.Duration
+	// Magnitude scales the effect: arrival-rate multiplier for storms
+	// (e.g. 5 = 5× arrivals), success-probability reduction for auth
+	// spikes (0.5 halves the success probability), drop-rate multiplier
+	// for traffic surges.
+	Magnitude float64
+}
+
+// active reports whether the anomaly covers the simulated second simT.
+func (a Anomaly) active(simT float64) bool {
+	start := a.StartOffset.Seconds()
+	return simT >= start && simT < start+a.Duration.Seconds()
+}
+
+// anomalyArrivalFactor returns the UE arrival-rate multiplier at simT.
+func (w *world) anomalyArrivalFactor(simT float64) float64 {
+	f := 1.0
+	for _, a := range w.cfg.Anomalies {
+		if a.Kind == RegistrationStorm && a.active(simT) && a.Magnitude > 0 {
+			f *= a.Magnitude
+		}
+	}
+	return f
+}
+
+// anomalySuccessProb adjusts a procedure outcome probability at simT.
+func (w *world) anomalySuccessProb(procKey string, base, simT float64) float64 {
+	p := base
+	for _, a := range w.cfg.Anomalies {
+		if a.Kind == AuthFailureSpike && a.active(simT) && procKey == "amf/cc/n1_auth" {
+			p *= 1 - a.Magnitude
+		}
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// anomalyDropFactor returns the user-plane drop multiplier at simT.
+func (w *world) anomalyDropFactor(simT float64) float64 {
+	f := 1.0
+	for _, a := range w.cfg.Anomalies {
+		if a.Kind == TrafficDropSurge && a.active(simT) && a.Magnitude > 0 {
+			f *= a.Magnitude
+		}
+	}
+	return f
+}

@@ -1,0 +1,304 @@
+// Package fivegsim simulates a 5G core control plane producing the
+// "synthetic yet representative data" the paper's benchmark executes
+// reference queries against (§4.1). A discrete-event simulator drives the
+// primary subscriber lifecycle — UE arrivals, registration,
+// authentication, PDU session establishment/release, handovers, paging,
+// deregistration — bumping the corresponding procedure counters and
+// gauges; the long tail of secondary counters (protocol messages, other
+// procedures, traffic and resource metrics) is driven by seeded rate
+// models. Counter samples are scraped into a tsdb.DB at a fixed interval,
+// exactly as a Prometheus server would scrape a vNF.
+package fivegsim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// eventKind enumerates the subscriber lifecycle events of the DES.
+type eventKind int
+
+const (
+	evUEArrival eventKind = iota
+	evRegister
+	evAuthenticate
+	evEstablishSession
+	evReleaseSession
+	evHandover
+	evPage
+	evPeriodicUpdate
+	evDeregister
+)
+
+// event is one scheduled lifecycle event.
+type event struct {
+	at   float64 // simulated seconds since start
+	kind eventKind
+	ue   *ue
+	seq  int // tie-breaker for determinism
+}
+
+// eventQueue is a min-heap over events ordered by time then sequence.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// ueState tracks where a subscriber is in its lifecycle.
+type ueState int
+
+const (
+	ueIdle ueState = iota
+	ueRegistered
+	ueSession
+	ueGone
+)
+
+// ue is one simulated subscriber.
+type ue struct {
+	id       int
+	state    ueState
+	sessions int
+}
+
+// des is the discrete-event core.
+type des struct {
+	rng   *rand.Rand
+	queue eventQueue
+	seq   int
+	now   float64
+	world *world
+}
+
+func newDES(seed int64, w *world) *des {
+	return &des{rng: rand.New(rand.NewSource(seed)), world: w}
+}
+
+// schedule enqueues an event after delay seconds.
+func (d *des) schedule(delay float64, kind eventKind, u *ue) {
+	d.seq++
+	heap.Push(&d.queue, &event{at: d.now + delay, kind: kind, ue: u, seq: d.seq})
+}
+
+// expo draws an exponential inter-arrival time with the given mean.
+func (d *des) expo(mean float64) float64 {
+	return d.rng.ExpFloat64() * mean
+}
+
+// runUntil processes events up to (and including) time t.
+func (d *des) runUntil(t float64) {
+	for d.queue.Len() > 0 && d.queue[0].at <= t {
+		e := heap.Pop(&d.queue).(*event)
+		d.now = e.at
+		d.dispatch(e)
+	}
+	d.now = t
+}
+
+// outcome draws a procedure outcome and bumps the procedure's counters.
+// Returns true when the procedure succeeded.
+func (d *des) outcome(proc string, pSuccess float64) bool {
+	w := d.world
+	pSuccess = w.anomalySuccessProb(proc, pSuccess, d.now)
+	w.bumpProc(proc, "request", 1)
+	w.bumpProc(proc, "attempt", 1)
+	r := d.rng.Float64()
+	if r < pSuccess {
+		w.bumpProc(proc, "success", 1)
+		w.observeDuration(proc, d.rng)
+		return true
+	}
+	// Split the unhappy path: failure, timeout, reject, abort.
+	rest := d.rng.Float64()
+	switch {
+	case rest < 0.45:
+		w.bumpProc(proc, "failure", 1)
+		w.bumpFailureCause(proc, d.rng)
+	case rest < 0.70:
+		w.bumpProc(proc, "timeout", 1)
+		w.bumpProc(proc, "retransmission", 1)
+	case rest < 0.90:
+		w.bumpProc(proc, "reject", 1)
+		w.bumpRejectCause(proc, d.rng)
+	default:
+		w.bumpProc(proc, "abort", 1)
+	}
+	w.observeDuration(proc, d.rng)
+	return false
+}
+
+// dispatch handles one lifecycle event, updating counters, gauges and
+// scheduling follow-up events.
+func (d *des) dispatch(e *event) {
+	w := d.world
+	switch e.kind {
+	case evUEArrival:
+		u := &ue{id: w.nextUE}
+		w.nextUE++
+		d.schedule(d.expo(1.0), evRegister, u)
+		// Keep the arrival process going; a registration storm divides
+		// the mean inter-arrival time by its magnitude.
+		d.schedule(d.expo(w.cfg.UEInterarrival/w.anomalyArrivalFactor(d.now)), evUEArrival, nil)
+
+	case evRegister:
+		u := e.ue
+		if d.outcome("amf/cc/initial_registration", 0.96) {
+			d.schedule(d.expo(0.5), evAuthenticate, u)
+		} else {
+			// Failed registrations retry after a backoff.
+			d.schedule(d.expo(10), evRegister, u)
+		}
+
+	case evAuthenticate:
+		u := e.ue
+		if d.outcome("amf/cc/n1_auth", 0.97) {
+			d.outcome("amf/cc/smc", 0.995)
+			d.outcome("amf/mm/ue_ctx_setup", 0.99)
+			u.state = ueRegistered
+			w.gauges["amfcc_registered_ues"]++
+			w.gauges["amfcc_ue_contexts"]++
+			w.gauges["amfcc_connected_ues"]++
+			d.schedule(d.expo(5), evEstablishSession, u)
+			d.schedule(d.expo(w.cfg.UELifetime), evDeregister, u)
+			d.schedule(d.expo(240), evPeriodicUpdate, u)
+			d.schedule(d.expo(90), evPage, u)
+			d.schedule(d.expo(60), evHandover, u)
+		} else {
+			d.schedule(d.expo(15), evRegister, u)
+		}
+
+	case evEstablishSession:
+		u := e.ue
+		if u.state != ueRegistered && u.state != ueSession {
+			return
+		}
+		ok1 := d.outcome("smf/sm/sm_ctx_create", 0.985)
+		ok2 := ok1 && d.outcome("smf/sm/pdu_session_establishment", 0.95)
+		if ok2 {
+			d.outcome("smf/sm/ip_alloc", 0.998)
+			d.outcome("smf/n4/session_establishment", 0.99)
+			d.outcome("upf/sess/session_establishment", 0.99)
+			d.outcome("upf/gtp/tunnel_create", 0.995)
+			d.outcome("amf/mm/pdu_resource_setup", 0.98)
+			u.state = ueSession
+			u.sessions++
+			w.gauges["smfsm_pdu_sessions_active"]++
+			w.gauges["smfsm_ipv4_allocated"]++
+			w.gauges["smfsm_qos_flows_active"] += 2
+			w.gauges["smfsm_sm_contexts"]++
+			w.gauges["upfsess_sessions_active"]++
+			w.gauges["upfgtp_tunnels_active"]++
+			w.gauges["upfsess_installed_pdrs"] += 2
+			w.gauges["upfsess_installed_fars"] += 2
+			w.gauges["upfsess_installed_qers"]++
+			d.schedule(d.expo(w.cfg.SessionLifetime), evReleaseSession, u)
+		} else if u.state == ueRegistered {
+			d.schedule(d.expo(20), evEstablishSession, u)
+		}
+
+	case evReleaseSession:
+		u := e.ue
+		if u.sessions == 0 {
+			return
+		}
+		d.outcome("smf/sm/pdu_session_release", 0.99)
+		d.outcome("smf/sm/sm_ctx_release", 0.995)
+		d.outcome("smf/n4/session_deletion", 0.995)
+		d.outcome("upf/sess/session_deletion", 0.995)
+		d.outcome("upf/gtp/tunnel_delete", 0.998)
+		d.outcome("amf/mm/pdu_resource_release", 0.99)
+		u.sessions--
+		if u.sessions == 0 && u.state == ueSession {
+			u.state = ueRegistered
+		}
+		w.gauges["smfsm_pdu_sessions_active"]--
+		w.gauges["smfsm_ipv4_allocated"]--
+		w.gauges["smfsm_qos_flows_active"] -= 2
+		w.gauges["smfsm_sm_contexts"]--
+		w.gauges["upfsess_sessions_active"]--
+		w.gauges["upfgtp_tunnels_active"]--
+		w.gauges["upfsess_installed_pdrs"] -= 2
+		w.gauges["upfsess_installed_fars"] -= 2
+		w.gauges["upfsess_installed_qers"]--
+		if u.state != ueGone {
+			d.schedule(d.expo(40), evEstablishSession, u)
+		}
+
+	case evHandover:
+		u := e.ue
+		if u.state == ueGone {
+			return
+		}
+		if u.state == ueSession || u.state == ueRegistered {
+			if d.rng.Float64() < 0.6 {
+				d.outcome("amf/mm/ho_preparation", 0.97)
+				d.outcome("amf/mm/ho_resource_allocation", 0.96)
+				d.outcome("amf/mm/ho_notification", 0.99)
+			} else {
+				d.outcome("amf/mm/path_switch", 0.98)
+			}
+			d.outcome("amf/cc/mobility_registration_update", 0.985)
+		}
+		d.schedule(d.expo(60), evHandover, u)
+
+	case evPage:
+		u := e.ue
+		if u.state == ueGone {
+			return
+		}
+		if u.state == ueRegistered {
+			d.outcome("amf/mm/paging", 0.92)
+			d.outcome("amf/cc/service_request", 0.97)
+		}
+		d.schedule(d.expo(90), evPage, u)
+
+	case evPeriodicUpdate:
+		u := e.ue
+		if u.state == ueGone {
+			return
+		}
+		d.outcome("amf/cc/periodic_registration_update", 0.99)
+		d.schedule(d.expo(240), evPeriodicUpdate, u)
+
+	case evDeregister:
+		u := e.ue
+		if u.state == ueGone {
+			return
+		}
+		for u.sessions > 0 {
+			d.outcome("smf/sm/pdu_session_release", 0.99)
+			d.outcome("upf/gtp/tunnel_delete", 0.998)
+			u.sessions--
+			w.gauges["smfsm_pdu_sessions_active"]--
+			w.gauges["smfsm_ipv4_allocated"]--
+			w.gauges["smfsm_qos_flows_active"] -= 2
+			w.gauges["smfsm_sm_contexts"]--
+			w.gauges["upfsess_sessions_active"]--
+			w.gauges["upfgtp_tunnels_active"]--
+			w.gauges["upfsess_installed_pdrs"] -= 2
+			w.gauges["upfsess_installed_fars"] -= 2
+			w.gauges["upfsess_installed_qers"]--
+		}
+		d.outcome("amf/cc/ue_deregistration", 0.99)
+		d.outcome("amf/mm/ue_ctx_release", 0.995)
+		u.state = ueGone
+		w.gauges["amfcc_registered_ues"]--
+		w.gauges["amfcc_ue_contexts"]--
+		w.gauges["amfcc_connected_ues"]--
+	}
+}

@@ -1,0 +1,448 @@
+package fivegsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"time"
+
+	"dio/internal/catalog"
+	"dio/internal/tsdb"
+)
+
+// Config parameterises a simulation run. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Seed makes the whole run deterministic.
+	Seed int64
+	// Start is the wall-clock time of the first scrape.
+	Start time.Time
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// Step is the scrape interval.
+	Step time.Duration
+	// Instances is the number of instances each NF runs (per-instance
+	// series are produced for every metric).
+	Instances int
+	// UEInterarrival is the mean seconds between new subscriber arrivals.
+	UEInterarrival float64
+	// UELifetime is the mean seconds a subscriber stays registered.
+	UELifetime float64
+	// SessionLifetime is the mean seconds a PDU session lasts.
+	SessionLifetime float64
+	// RenameMetric optionally rewrites metric names at scrape time, so a
+	// deployment can expose a vendor-specific naming scheme (see
+	// internal/vendors) while the simulation stays canonical. Nil keeps
+	// canonical names.
+	RenameMetric func(string) string
+	// Anomalies injects incident windows (registration storms, auth
+	// failure spikes, traffic drop surges) into the trace.
+	Anomalies []Anomaly
+}
+
+// DefaultConfig returns the configuration used by the benchmark: a
+// two-hour trace at 30-second resolution with two instances per NF.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            42,
+		Start:           time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC),
+		Duration:        2 * time.Hour,
+		Step:            30 * time.Second,
+		Instances:       2,
+		UEInterarrival:  0.8,
+		UELifetime:      1800,
+		SessionLifetime: 600,
+	}
+}
+
+// Report summarises a completed run.
+type Report struct {
+	Steps        int
+	Series       int
+	Samples      int64
+	SimulatedUEs int
+	End          time.Time
+}
+
+// String renders the report for logs.
+func (r Report) String() string {
+	return fmt.Sprintf("fivegsim: %d steps, %d series, %d samples, %d UEs simulated, end=%s",
+		r.Steps, r.Series, r.Samples, r.SimulatedUEs, r.End.Format(time.RFC3339))
+}
+
+// secondaryModel is the rate model of one counter not driven by the DES.
+type secondaryModel struct {
+	metric *catalog.Metric
+	rate   float64 // expected events per second at load 1.0
+}
+
+// Populate runs the simulation and appends every scraped sample to db.
+// The same (catalog, cfg) always produces the identical database.
+func Populate(db *tsdb.DB, cat *catalog.Database, cfg Config) (*Report, error) {
+	if cfg.Step <= 0 || cfg.Duration <= 0 || cfg.Instances <= 0 {
+		return nil, fmt.Errorf("fivegsim: invalid config: step=%v duration=%v instances=%d", cfg.Step, cfg.Duration, cfg.Instances)
+	}
+	w := newWorld(cfg)
+	d := newDES(cfg.Seed, w)
+	secRng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	// Secondary models: every counter not produced by the DES or the
+	// traffic/gauge models gets a stable synthetic rate.
+	desMetrics := make(map[string]bool)
+	for key := range w.procs {
+		p := w.procs[key]
+		if desDriven[key] {
+			for _, v := range catalog.CounterVariants {
+				desMetrics[p.MetricName(v)] = true
+			}
+			for _, c := range catalog.FailureCauses {
+				desMetrics[p.MetricName("failure_cause_"+c)] = true
+			}
+			for _, c := range catalog.RejectCauses {
+				desMetrics[p.MetricName("reject_cause_"+c)] = true
+			}
+			base := p.MetricName("duration_seconds")
+			desMetrics[base+"_bucket"] = true
+			desMetrics[base+"_sum"] = true
+			desMetrics[base+"_count"] = true
+		}
+	}
+	var secondaries []secondaryModel
+	secondaryProcs := make(map[string]catalog.ProcedureDef)
+	var secondaryProcKeys []string
+	for _, m := range cat.Metrics {
+		if desMetrics[m.Name] {
+			continue
+		}
+		if m.Procedure != "" {
+			// Whole-procedure family handled coherently below.
+			key := m.NF + "/" + m.Service + "/" + m.Procedure
+			if _, seen := secondaryProcs[key]; !seen && !desDriven[key] {
+				secondaryProcs[key] = w.procs[key]
+				secondaryProcKeys = append(secondaryProcKeys, key)
+			}
+			continue
+		}
+		switch m.Type {
+		case catalog.Counter:
+			secondaries = append(secondaries, secondaryModel{metric: m, rate: 0.2 + 8*hash01(m.Name+"#rate")})
+		}
+	}
+
+	// Seed the event queue.
+	d.schedule(0, evUEArrival, nil)
+
+	// Track gauge setpoints for gauges the DES does not maintain.
+	staticGauges := staticGaugeSetpoints(cat)
+
+	steps := int(cfg.Duration / cfg.Step)
+	stepSec := cfg.Step.Seconds()
+	var samples int64
+	instances := instanceNames(cfg.Instances)
+
+	for i := 0; i <= steps; i++ {
+		simT := float64(i) * stepSec
+		d.runUntil(simT)
+		mod := diurnal(simT)
+
+		// Advance secondary plain counters.
+		for _, s := range secondaries {
+			n := poisson(secRng, s.rate*stepSec*mod)
+			w.counters[s.metric.Name] += float64(n)
+		}
+		// Advance secondary procedure families coherently
+		// (attempt ≥ success + failure + timeout + reject + abort).
+		// Iterate in sorted order: map order would desynchronise the RNG
+		// stream across runs.
+		for _, key := range secondaryProcKeys {
+			advanceSecondaryProcedure(w, secRng, key, secondaryProcs[key], stepSec*mod)
+		}
+		// Traffic counters follow active sessions.
+		advanceTraffic(w, secRng, stepSec, simT)
+		// Resource gauges and static gauges drift around setpoints.
+		advanceResourceGauges(w, secRng, simT, mod)
+		for name, set := range staticGauges {
+			w.gauges[name] = set * (0.85 + 0.3*hash01(name+strconv.Itoa(i/10))) * mod
+		}
+
+		// Scrape: split aggregate state into per-instance series.
+		ts := cfg.Start.Add(time.Duration(i) * cfg.Step).UnixMilli()
+		n, err := scrape(db, cat, w, instances, ts)
+		if err != nil {
+			return nil, err
+		}
+		samples += n
+	}
+
+	return &Report{
+		Steps:        steps + 1,
+		Series:       db.NumSeries(),
+		Samples:      db.NumSamples(),
+		SimulatedUEs: w.nextUE,
+		End:          cfg.Start.Add(time.Duration(steps) * cfg.Step),
+	}, nil
+}
+
+// desDriven lists the procedures whose counters come from the DES.
+var desDriven = map[string]bool{
+	"amf/cc/initial_registration":         true,
+	"amf/cc/n1_auth":                      true,
+	"amf/cc/smc":                          true,
+	"amf/cc/mobility_registration_update": true,
+	"amf/cc/periodic_registration_update": true,
+	"amf/cc/service_request":              true,
+	"amf/cc/ue_deregistration":            true,
+	"amf/mm/ue_ctx_setup":                 true,
+	"amf/mm/ue_ctx_release":               true,
+	"amf/mm/paging":                       true,
+	"amf/mm/ho_preparation":               true,
+	"amf/mm/ho_resource_allocation":       true,
+	"amf/mm/ho_notification":              true,
+	"amf/mm/path_switch":                  true,
+	"amf/mm/pdu_resource_setup":           true,
+	"amf/mm/pdu_resource_release":         true,
+	"smf/sm/sm_ctx_create":                true,
+	"smf/sm/sm_ctx_release":               true,
+	"smf/sm/pdu_session_establishment":    true,
+	"smf/sm/pdu_session_release":          true,
+	"smf/sm/ip_alloc":                     true,
+	"smf/n4/session_establishment":        true,
+	"smf/n4/session_deletion":             true,
+	"upf/sess/session_establishment":      true,
+	"upf/sess/session_deletion":           true,
+	"upf/gtp/tunnel_create":               true,
+	"upf/gtp/tunnel_delete":               true,
+}
+
+// advanceSecondaryProcedure draws one step of coherent lifecycle counters
+// for a procedure outside the DES.
+func advanceSecondaryProcedure(w *world, rng *rand.Rand, key string, p catalog.ProcedureDef, effSec float64) {
+	rate := 0.1 + 4*hash01(key+"#prate")
+	n := poisson(rng, rate*effSec)
+	if n == 0 {
+		return
+	}
+	pSuccess := 0.90 + 0.095*hash01(key+"#psucc")
+	succ := 0
+	for j := 0; j < n; j++ {
+		if rng.Float64() < pSuccess {
+			succ++
+		}
+	}
+	fail := n - succ
+	w.counters[p.MetricName("attempt")] += float64(n)
+	w.counters[p.MetricName("request")] += float64(n)
+	w.counters[p.MetricName("success")] += float64(succ)
+	// Split the unhappy path.
+	var failures, timeouts, rejects, aborts int
+	for j := 0; j < fail; j++ {
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			failures++
+			w.bumpFailureCause(key, rng)
+		case r < 0.70:
+			timeouts++
+		case r < 0.90:
+			rejects++
+			w.bumpRejectCause(key, rng)
+		default:
+			aborts++
+		}
+	}
+	w.counters[p.MetricName("failure")] += float64(failures)
+	w.counters[p.MetricName("timeout")] += float64(timeouts)
+	w.counters[p.MetricName("retransmission")] += float64(timeouts)
+	w.counters[p.MetricName("reject")] += float64(rejects)
+	w.counters[p.MetricName("abort")] += float64(aborts)
+	for j := 0; j < n; j++ {
+		w.observeDuration(key, rng)
+	}
+}
+
+// advanceTraffic drives the UPF per-interface byte/packet counters from
+// the number of active sessions.
+func advanceTraffic(w *world, rng *rand.Rand, stepSec, simT float64) {
+	dropFactor := w.anomalyDropFactor(simT)
+	sessions := w.gauges["upfsess_sessions_active"]
+	if sessions < 0 {
+		sessions = 0
+	}
+	perSessionBps := 250_000.0 // ~2 Mbit/s down+up combined across interfaces
+	for _, iface := range []string{"n3", "n6", "n9"} {
+		ifaceShare := 0.2 + 0.8*hash01("traffic#"+iface)
+		for _, dir := range []string{"ul", "dl"} {
+			dirShare := 0.35
+			if dir == "dl" {
+				dirShare = 0.65
+			}
+			bytes := sessions * perSessionBps * ifaceShare * dirShare * stepSec * (0.9 + 0.2*rng.Float64())
+			pkts := bytes / 1200
+			base := "upfgtp_" + iface + "_" + dir + "_"
+			w.counters[base+"bytes"] += bytes
+			w.counters[base+"packets"] += pkts
+			w.counters[base+"dropped_packets"] += pkts * 0.002 * rng.Float64() * dropFactor
+			w.counters[base+"errored_packets"] += pkts * 0.0005 * rng.Float64()
+			w.counters[base+"out_of_order_packets"] += pkts * 0.001 * rng.Float64()
+		}
+	}
+}
+
+// advanceResourceGauges drifts per-NF platform metrics with load.
+func advanceResourceGauges(w *world, rng *rand.Rand, simT, mod float64) {
+	for _, nf := range catalog.NFNames() {
+		load := mod * (0.5 + 0.5*hash01(nf+"#load"))
+		w.gauges[nf+"_system_cpu_usage_percent"] = math.Min(98, 15+60*load+6*rng.Float64())
+		w.gauges[nf+"_system_memory_bytes"] = (1.5 + 2.5*load + 0.2*rng.Float64()) * 1e9
+		w.gauges[nf+"_system_heap_bytes"] = (0.8 + 1.5*load + 0.1*rng.Float64()) * 1e9
+		w.gauges[nf+"_system_goroutines"] = math.Round(200 + 1500*load + 50*rng.Float64())
+		w.gauges[nf+"_system_open_fds"] = math.Round(100 + 600*load + 20*rng.Float64())
+		w.gauges[nf+"_system_sbi_inflight_requests"] = math.Round(5 + 80*load + 10*rng.Float64())
+		w.gauges[nf+"_system_db_connections"] = math.Round(8 + 24*load)
+		w.gauges[nf+"_system_queue_depth"] = math.Round(30 * load * rng.Float64())
+		w.counters[nf+"_system_uptime_seconds"] = simT
+		w.counters[nf+"_system_sbi_request_errors"] += float64(poisson(rng, 0.05*mod))
+		w.counters[nf+"_system_dropped_events"] += float64(poisson(rng, 0.02*mod))
+		w.counters[nf+"_system_log_errors"] += float64(poisson(rng, 0.1*mod))
+	}
+}
+
+// staticGaugeSetpoints returns setpoints for gauges not maintained by the
+// DES or the resource model.
+func staticGaugeSetpoints(cat *catalog.Database) map[string]float64 {
+	dynamic := map[string]bool{
+		"amfcc_registered_ues": true, "amfcc_ue_contexts": true,
+		"amfcc_connected_ues": true, "smfsm_pdu_sessions_active": true,
+		"smfsm_ipv4_allocated": true, "smfsm_qos_flows_active": true,
+		"smfsm_sm_contexts": true, "upfsess_sessions_active": true,
+		"upfgtp_tunnels_active": true, "upfsess_installed_pdrs": true,
+		"upfsess_installed_fars": true, "upfsess_installed_qers": true,
+	}
+	out := make(map[string]float64)
+	for _, g := range catalog.Gauges() {
+		name := g.MetricName()
+		if dynamic[name] {
+			continue
+		}
+		out[name] = math.Round(5 + 500*hash01(name+"#setpoint"))
+	}
+	// Resource gauges handled separately.
+	_ = cat
+	return out
+}
+
+// scrape writes every metric's current value as per-instance series.
+func scrape(db *tsdb.DB, cat *catalog.Database, w *world, instances []string, ts int64) (int64, error) {
+	var n int64
+	appendSplit := func(name string, labels map[string]string, total float64) error {
+		shares := instanceShares(name, len(instances))
+		exported := name
+		if w.cfg.RenameMetric != nil {
+			exported = w.cfg.RenameMetric(name)
+		}
+		for i, inst := range instances {
+			ls := map[string]string{tsdb.MetricNameLabel: exported, "instance": inst}
+			for k, v := range labels {
+				ls[k] = v
+			}
+			v := total * shares[i]
+			if v < 0 {
+				v = 0
+			}
+			if err := db.Append(tsdb.FromMap(ls), ts, v); err != nil {
+				return err
+			}
+			n++
+		}
+		return nil
+	}
+
+	for _, m := range cat.Metrics {
+		switch m.Type {
+		case catalog.HistogramBucket:
+			key := m.NF + "/" + m.Service + "/" + m.Procedure
+			bs := w.histBuckets[key]
+			count := w.histCount[key]
+			for bi, le := range DurationBuckets {
+				var v float64
+				if bs != nil {
+					v = bs[bi]
+				}
+				if err := appendSplit(m.Name, map[string]string{"le": formatLE(le)}, v); err != nil {
+					return n, err
+				}
+			}
+			if err := appendSplit(m.Name, map[string]string{"le": "+Inf"}, count); err != nil {
+				return n, err
+			}
+		case catalog.HistogramSum:
+			key := m.NF + "/" + m.Service + "/" + m.Procedure
+			if err := appendSplit(m.Name, nil, w.histSum[key]); err != nil {
+				return n, err
+			}
+		case catalog.HistogramCount:
+			key := m.NF + "/" + m.Service + "/" + m.Procedure
+			if err := appendSplit(m.Name, nil, w.histCount[key]); err != nil {
+				return n, err
+			}
+		case catalog.Gauge:
+			if err := appendSplit(m.Name, nil, w.gauges[m.Name]); err != nil {
+				return n, err
+			}
+		default: // Counter
+			if err := appendSplit(m.Name, nil, w.counters[m.Name]); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// formatLE renders a bucket bound as its le label value.
+func formatLE(le float64) string {
+	s := strconv.FormatFloat(le, 'g', -1, 64)
+	return s
+}
+
+// instanceNames returns instance identifiers pod-0, pod-1, ...
+func instanceNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "pod-" + strconv.Itoa(i)
+	}
+	return out
+}
+
+// diurnal modulates load over simulated time: a slow sinusoid plus a small
+// fast ripple, always positive.
+func diurnal(simSec float64) float64 {
+	slow := 1 + 0.25*math.Sin(2*math.Pi*simSec/7200)
+	fast := 1 + 0.05*math.Sin(2*math.Pi*simSec/600)
+	return slow * fast
+}
+
+// poisson draws a Poisson variate (Knuth for small λ, normal approximation
+// for large λ).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(math.Round(v))
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,135 @@
+package fivegsim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"dio/internal/catalog"
+)
+
+// DurationBuckets are the histogram bucket upper bounds (seconds) used for
+// every procedure-duration histogram.
+var DurationBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// world is the mutable counter/gauge state of the simulation, aggregated
+// across instances (the scraper splits totals into per-instance series
+// with fixed shares).
+type world struct {
+	cfg Config
+	// procPrefix maps "nf/service/slug" to the metric-name prefix+slug.
+	procs map[string]catalog.ProcedureDef
+	// counters accumulates monotone totals by full metric name.
+	counters map[string]float64
+	// gauges holds current levels by full metric name.
+	gauges map[string]float64
+	// histograms: per procedure key, cumulative bucket counts, sum, count.
+	histBuckets map[string][]float64
+	histSum     map[string]float64
+	histCount   map[string]float64
+	nextUE      int
+}
+
+func newWorld(cfg Config) *world {
+	w := &world{
+		cfg:         cfg,
+		procs:       make(map[string]catalog.ProcedureDef),
+		counters:    make(map[string]float64),
+		gauges:      make(map[string]float64),
+		histBuckets: make(map[string][]float64),
+		histSum:     make(map[string]float64),
+		histCount:   make(map[string]float64),
+	}
+	for _, p := range catalog.Procedures() {
+		w.procs[p.NF+"/"+p.Service+"/"+p.Slug] = p
+	}
+	return w
+}
+
+// bumpProc increments one lifecycle counter of a procedure.
+func (w *world) bumpProc(procKey, variant string, n float64) {
+	p, ok := w.procs[procKey]
+	if !ok {
+		panic("fivegsim: unknown procedure " + procKey)
+	}
+	w.counters[p.MetricName(variant)] += n
+}
+
+// bumpFailureCause attributes one failure to a cause, weighted towards the
+// first causes (congestion and resource exhaustion dominate real
+// deployments).
+func (w *world) bumpFailureCause(procKey string, rng *rand.Rand) {
+	causes := catalog.FailureCauses
+	idx := weightedCauseIndex(rng, len(causes))
+	w.bumpProc(procKey, "failure_cause_"+causes[idx], 1)
+}
+
+// bumpRejectCause attributes one rejection to a cause.
+func (w *world) bumpRejectCause(procKey string, rng *rand.Rand) {
+	causes := catalog.RejectCauses
+	idx := weightedCauseIndex(rng, len(causes))
+	w.bumpProc(procKey, "reject_cause_"+causes[idx], 1)
+}
+
+// weightedCauseIndex draws an index with geometrically decaying weights.
+func weightedCauseIndex(rng *rand.Rand, n int) int {
+	for i := 0; i < n-1; i++ {
+		if rng.Float64() < 0.4 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// observeDuration records one procedure duration into the histogram
+// family. Durations are lognormal with a per-procedure median derived from
+// the procedure name, so different procedures have stably different
+// latency profiles.
+func (w *world) observeDuration(procKey string, rng *rand.Rand) {
+	p := w.procs[procKey]
+	median := procMedianSeconds(procKey)
+	d := median * math.Exp(rng.NormFloat64()*0.6)
+	bs, ok := w.histBuckets[procKey]
+	if !ok {
+		bs = make([]float64, len(DurationBuckets))
+		w.histBuckets[procKey] = bs
+	}
+	for i, le := range DurationBuckets {
+		if d <= le {
+			bs[i]++
+		}
+	}
+	w.histSum[procKey] += d
+	w.histCount[procKey]++
+	_ = p
+}
+
+// procMedianSeconds derives a stable per-procedure median duration in
+// [20ms, 320ms] from the procedure key.
+func procMedianSeconds(procKey string) float64 {
+	h := hash01(procKey + "#median")
+	return 0.02 * math.Pow(2, h*4) // 0.02 .. 0.32
+}
+
+// hash01 maps a string to a stable float in [0, 1).
+func hash01(s string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+// instanceShares returns the fixed per-instance share weights of a metric,
+// summing to 1. Shares differ per metric so per-instance questions (topk,
+// max) have non-trivial answers.
+func instanceShares(metric string, n int) []float64 {
+	shares := make([]float64, n)
+	var total float64
+	for i := range shares {
+		shares[i] = 0.5 + hash01(metric+"#inst"+string(rune('a'+i)))
+		total += shares[i]
+	}
+	for i := range shares {
+		shares[i] /= total
+	}
+	return shares
+}

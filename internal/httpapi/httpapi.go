@@ -1,0 +1,474 @@
+// Package httpapi exposes the copilot over HTTP: the message-bar ask
+// endpoint of Figure 1b, a Prometheus-compatible query API over the
+// operator TSDB, catalog search, and the expert-feedback endpoints.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dio/internal/core"
+	"dio/internal/dashboard"
+	"dio/internal/feedback"
+	"dio/internal/promql"
+	"dio/internal/sandbox"
+)
+
+// Server wires the copilot, executor and feedback tracker into an
+// http.Handler.
+type Server struct {
+	copilot *core.Copilot
+	tracker *feedback.Tracker
+	logger  *log.Logger
+	mux     *http.ServeMux
+}
+
+// New assembles the server. logger may be nil to disable request logs.
+func New(cp *core.Copilot, tracker *feedback.Tracker, logger *log.Logger) *Server {
+	s := &Server{copilot: cp, tracker: tracker, logger: logger, mux: http.NewServeMux()}
+	// Audit every query the service executes (§5.4 safety).
+	if cp.Executor().Audit() == nil {
+		cp.Executor().SetAudit(sandbox.NewAuditLog(4096, nil))
+	}
+	s.mux.HandleFunc("GET /api/v1/audit", s.handleAudit)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /api/v1/ask", s.handleAsk)
+	s.mux.HandleFunc("GET /api/v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /api/v1/query_range", s.handleQueryRange)
+	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/v1/feedback", s.handleFeedbackList)
+	s.mux.HandleFunc("POST /api/v1/feedback", s.handleFeedbackOpen)
+	s.mux.HandleFunc("POST /api/v1/feedback/{id}/resolve", s.handleFeedbackResolve)
+	s.mux.HandleFunc("POST /api/v1/feedback/{id}/propose", s.handleProposalOpen)
+	s.mux.HandleFunc("GET /api/v1/proposals", s.handleProposalList)
+	s.mux.HandleFunc("POST /api/v1/proposals/{id}/vote", s.handleProposalVote)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.logger != nil {
+		s.logger.Printf("%s %s", r.Method, r.URL.Path)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Status string `json:"status"`
+	Error  string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil && code < 500 {
+		// Too late to change the status; nothing sensible to do.
+		_ = err
+	}
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Status: "error", Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// askRequest is the POST /api/v1/ask body.
+type askRequest struct {
+	Question string `json:"question"`
+}
+
+// askResponse mirrors core.Answer in wire form.
+type askResponse struct {
+	Status    string               `json:"status"`
+	Question  string               `json:"question"`
+	Task      string               `json:"task"`
+	Metrics   []askMetric          `json:"metrics"`
+	Query     string               `json:"query"`
+	Answer    string               `json:"answer"`
+	ExecError string               `json:"exec_error,omitempty"`
+	Dashboard *dashboard.Dashboard `json:"dashboard,omitempty"`
+	CostCents float64              `json:"cost_cents"`
+}
+
+type askMetric struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req askRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Question) == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("question is required"))
+		return
+	}
+	ans, err := s.copilot.Ask(r.Context(), req.Question)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := askResponse{
+		Status: "success", Question: ans.Question, Task: ans.Task.String(),
+		Query: ans.Query, Answer: ans.ValueText, Dashboard: ans.Dashboard,
+		CostCents: ans.CostCents,
+	}
+	if ans.ExecErr != nil {
+		resp.ExecError = ans.ExecErr.Error()
+	}
+	for _, m := range ans.Metrics {
+		resp.Metrics = append(resp.Metrics, askMetric{Name: m.Name, Description: m.Description})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryData is the Prometheus-style result envelope.
+type queryData struct {
+	Status string `json:"status"`
+	Data   struct {
+		ResultType string `json:"resultType"`
+		Result     any    `json:"result"`
+	} `json:"data"`
+}
+
+// wireVector marshals an instant vector in Prometheus wire form.
+func wireVector(v promql.Vector) []map[string]any {
+	out := make([]map[string]any, 0, len(v))
+	for _, s := range v {
+		out = append(out, map[string]any{
+			"metric": s.Labels.Map(),
+			"value":  [2]any{float64(s.T) / 1000, strconv.FormatFloat(s.V, 'g', -1, 64)},
+		})
+	}
+	return out
+}
+
+func wireMatrix(m promql.Matrix) []map[string]any {
+	out := make([]map[string]any, 0, len(m))
+	for _, s := range m {
+		values := make([][2]any, 0, len(s.Samples))
+		for _, smp := range s.Samples {
+			values = append(values, [2]any{float64(smp.T) / 1000, strconv.FormatFloat(smp.V, 'g', -1, 64)})
+		}
+		out = append(out, map[string]any{"metric": s.Labels.Map(), "values": values})
+	}
+	return out
+}
+
+// parseTime accepts RFC3339 or Unix seconds; zero value means defaultT.
+func parseTime(s string, defaultT time.Time) (time.Time, error) {
+	if s == "" {
+		return defaultT, nil
+	}
+	if ts, err := strconv.ParseFloat(s, 64); err == nil {
+		return time.UnixMilli(int64(ts * 1000)), nil
+	}
+	return time.Parse(time.RFC3339, s)
+}
+
+// latest returns the newest sample instant in the store.
+func (s *Server) latest() time.Time {
+	if _, maxT, ok := s.copilot.Executor().Engine().DB().TimeRange(); ok {
+		return time.UnixMilli(maxT)
+	}
+	return time.Unix(0, 0)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("query")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("query parameter is required"))
+		return
+	}
+	ts, err := parseTime(r.URL.Query().Get("time"), s.latest())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad time: %w", err))
+		return
+	}
+	v, err := s.copilot.Executor().Execute(r.Context(), q, ts)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, sandbox.ErrRejected) {
+			code = http.StatusForbidden
+		}
+		writeErr(w, code, err)
+		return
+	}
+	var resp queryData
+	resp.Status = "success"
+	switch x := v.(type) {
+	case promql.Scalar:
+		resp.Data.ResultType = "scalar"
+		resp.Data.Result = [2]any{float64(x.T) / 1000, strconv.FormatFloat(x.V, 'g', -1, 64)}
+	case promql.Vector:
+		resp.Data.ResultType = "vector"
+		resp.Data.Result = wireVector(x)
+	case promql.Matrix:
+		resp.Data.ResultType = "matrix"
+		resp.Data.Result = wireMatrix(x)
+	default:
+		resp.Data.ResultType = "string"
+		resp.Data.Result = promql.FormatValue(v)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQueryRange(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+	q := qv.Get("query")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("query parameter is required"))
+		return
+	}
+	end, err := parseTime(qv.Get("end"), s.latest())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad end: %w", err))
+		return
+	}
+	start, err := parseTime(qv.Get("start"), end.Add(-time.Hour))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad start: %w", err))
+		return
+	}
+	step := time.Minute
+	if sv := qv.Get("step"); sv != "" {
+		d, err := promql.ParseDuration(sv)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad step: %w", err))
+			return
+		}
+		step = d
+	}
+	m, err := s.copilot.Executor().ExecuteRange(r.Context(), q, start, end, step)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	var resp queryData
+	resp.Status = "success"
+	resp.Data.ResultType = "matrix"
+	resp.Data.Result = wireMatrix(m)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// metricInfo is the catalog search result row.
+type metricInfo struct {
+	Name        string `json:"name"`
+	NF          string `json:"nf"`
+	Type        string `json:"type"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	q := strings.ToLower(r.URL.Query().Get("q"))
+	limit := 50
+	if lv := r.URL.Query().Get("limit"); lv != "" {
+		if n, err := strconv.Atoi(lv); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	var out []metricInfo
+	for _, m := range s.copilot.Catalog().Metrics {
+		if q != "" && !strings.Contains(strings.ToLower(m.Name), q) &&
+			!strings.Contains(strings.ToLower(m.Description), q) {
+			continue
+		}
+		out = append(out, metricInfo{Name: m.Name, NF: m.NF, Type: m.Type.String(), Description: m.Description})
+		if len(out) >= limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "success", "metrics": out})
+}
+
+func (s *Server) handleFeedbackList(w http.ResponseWriter, _ *http.Request) {
+	if s.tracker == nil {
+		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "success", "issues": s.tracker.List(-1)})
+}
+
+// feedbackOpenRequest is the POST /api/v1/feedback body: re-ask the
+// question and open an issue from the copilot's own answer (the
+// raised-hand button of §3.4).
+type feedbackOpenRequest struct {
+	Question string `json:"question"`
+}
+
+func (s *Server) handleFeedbackOpen(w http.ResponseWriter, r *http.Request) {
+	if s.tracker == nil {
+		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		return
+	}
+	var req feedbackOpenRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Question) == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("question is required"))
+		return
+	}
+	ans, err := s.copilot.Ask(r.Context(), req.Question)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	issue := feedback.OpenFromAnswer(s.tracker, ans)
+	writeJSON(w, http.StatusCreated, map[string]any{"status": "success", "issue": issue})
+}
+
+// resolveRequest is the POST /api/v1/feedback/{id}/resolve body.
+type resolveRequest struct {
+	Expert       string `json:"expert"`
+	MetricName   string `json:"metric_name"`
+	Description  string `json:"description"`
+	FunctionName string `json:"function_name,omitempty"`
+	FunctionTmpl string `json:"function_template,omitempty"`
+	FunctionArgs int    `json:"function_arity,omitempty"`
+}
+
+func (s *Server) handleFeedbackResolve(w http.ResponseWriter, r *http.Request) {
+	if s.tracker == nil {
+		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad issue id: %w", err))
+		return
+	}
+	var req resolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	err = s.tracker.Resolve(id, req.Expert, feedback.Contribution{
+		MetricName: req.MetricName, Description: req.Description,
+		FunctionName: req.FunctionName, FunctionTemplate: req.FunctionTmpl,
+		FunctionArity: req.FunctionArgs,
+	})
+	switch {
+	case errors.Is(err, feedback.ErrUnknownIssue):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, feedback.ErrNotExpert):
+		writeErr(w, http.StatusForbidden, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		issue, _ := s.tracker.Get(id)
+		writeJSON(w, http.StatusOK, map[string]any{"status": "success", "issue": issue})
+	}
+}
+
+// proposeRequest is the POST /api/v1/feedback/{id}/propose body: a
+// community contribution awaiting expert votes (the Stack Overflow-style
+// mechanism of §3.4's future work).
+type proposeRequest struct {
+	Author       string `json:"author"`
+	MetricName   string `json:"metric_name"`
+	Description  string `json:"description"`
+	FunctionName string `json:"function_name,omitempty"`
+	FunctionTmpl string `json:"function_template,omitempty"`
+	FunctionArgs int    `json:"function_arity,omitempty"`
+}
+
+func (s *Server) handleProposalOpen(w http.ResponseWriter, r *http.Request) {
+	if s.tracker == nil {
+		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad issue id: %w", err))
+		return
+	}
+	var req proposeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	p, err := s.tracker.Propose(id, req.Author, feedback.Contribution{
+		MetricName: req.MetricName, Description: req.Description,
+		FunctionName: req.FunctionName, FunctionTemplate: req.FunctionTmpl,
+		FunctionArity: req.FunctionArgs,
+	})
+	switch {
+	case errors.Is(err, feedback.ErrUnknownIssue):
+		writeErr(w, http.StatusNotFound, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusCreated, map[string]any{"status": "success", "proposal": p})
+	}
+}
+
+func (s *Server) handleProposalList(w http.ResponseWriter, r *http.Request) {
+	if s.tracker == nil {
+		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		return
+	}
+	issueID := -1
+	if v := r.URL.Query().Get("issue"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad issue filter: %w", err))
+			return
+		}
+		issueID = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "success", "proposals": s.tracker.Proposals(issueID)})
+}
+
+// voteRequest is the POST /api/v1/proposals/{id}/vote body.
+type voteRequest struct {
+	Expert string `json:"expert"`
+	Up     bool   `json:"up"`
+}
+
+func (s *Server) handleProposalVote(w http.ResponseWriter, r *http.Request) {
+	if s.tracker == nil {
+		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad proposal id: %w", err))
+		return
+	}
+	var req voteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	err = s.tracker.Vote(id, req.Expert, req.Up)
+	switch {
+	case errors.Is(err, feedback.ErrUnknownProposal):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, feedback.ErrNotExpert), errors.Is(err, feedback.ErrSelfVote):
+		writeErr(w, http.StatusForbidden, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "success"})
+	}
+}
+
+// handleAudit returns the sandbox's query audit log, newest last.
+func (s *Server) handleAudit(w http.ResponseWriter, _ *http.Request) {
+	a := s.copilot.Executor().Audit()
+	if a == nil {
+		writeErr(w, http.StatusNotImplemented, errors.New("auditing is not enabled"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "success", "entries": a.Entries()})
+}

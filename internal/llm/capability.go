@@ -1,0 +1,125 @@
+package llm
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"dio/internal/embedding"
+)
+
+// Capability holds the per-tier behavioural constants of a simulated
+// foundation model. The constants are the *only* calibrated quantities in
+// the reproduction; everything else is mechanism. See EXPERIMENTS.md for
+// the calibration record.
+type Capability struct {
+	// ContextWindow is the prompt budget in tokens (the §3.1 constraint:
+	// GPT-4 fits 32k tokens, smaller models far less).
+	ContextWindow int
+	// MaxOutputTokens caps the completion (the paper sets 1000).
+	MaxOutputTokens int
+	// Knowledge is the fraction of the telecom abbreviation lexicon the
+	// model knows from its training corpus (web priors).
+	Knowledge float64
+	// BareNameComprehension is the probability of correctly reading a
+	// vendor metric identifier when only its NAME is in the prompt — the
+	// paper's §1 "specialized information" challenge: counter names are
+	// rarely discussed on the public web and ambiguous across domains, so
+	// without documentation a fraction of identifiers is misread.
+	// Documented context (DIO) is unaffected.
+	BareNameComprehension float64
+	// TaskNoise is the probability of misreading the analytics intent.
+	TaskNoise float64
+	// SelectionNoise is the probability of picking a semantically close
+	// but wrong metric from the provided context.
+	SelectionNoise float64
+	// PatternFewShot is the probability of reproducing a query pattern
+	// that few-shot examples demonstrate.
+	PatternFewShot float64
+	// PatternZeroShot is the probability of producing the expert pattern
+	// with no demonstration (by task complexity class).
+	PatternZeroShotSimple  float64 // current_total, average
+	PatternZeroShotComplex float64 // everything else
+	// CodegenNoise is the probability of corrupting an otherwise correct
+	// query (wrong window, dropped aggregation, swapped operands).
+	CodegenNoise float64
+	// GuessesNames reports whether the model attempts compositional
+	// metric-name construction when the context does not resolve the
+	// question (GPT-class models do; curie rarely does anything useful).
+	GuessesNames bool
+	// PromptCentsPer1K / CompletionCentsPer1K price the tokens (§4.2.5).
+	PromptCentsPer1K     float64
+	CompletionCentsPer1K float64
+}
+
+// Tiers returns the capability table of the three evaluated models.
+func Tiers() map[string]Capability {
+	return map[string]Capability{
+		"gpt-4": {
+			ContextWindow: 32000, MaxOutputTokens: 1000,
+			Knowledge: 0.95, BareNameComprehension: 0.92,
+			TaskNoise: 0.02, SelectionNoise: 0.20,
+			PatternFewShot: 0.95, PatternZeroShotSimple: 0.60, PatternZeroShotComplex: 0.06,
+			CodegenNoise: 0.07, GuessesNames: true,
+			PromptCentsPer1K: 3.0, CompletionCentsPer1K: 6.0,
+		},
+		"gpt-3.5-turbo": {
+			ContextWindow: 16000, MaxOutputTokens: 1000,
+			Knowledge: 0.40, BareNameComprehension: 0.35,
+			TaskNoise: 0.08, SelectionNoise: 0.34,
+			PatternFewShot: 0.85, PatternZeroShotSimple: 0.45, PatternZeroShotComplex: 0.04,
+			CodegenNoise: 0.20, GuessesNames: true,
+			PromptCentsPer1K: 0.15, CompletionCentsPer1K: 0.20,
+		},
+		"text-curie-001": {
+			ContextWindow: 2048, MaxOutputTokens: 1000,
+			Knowledge: 0.05, BareNameComprehension: 0.10,
+			TaskNoise: 0.30, SelectionNoise: 0.65,
+			PatternFewShot: 0.42, PatternZeroShotSimple: 0.20, PatternZeroShotComplex: 0.01,
+			CodegenNoise: 0.40, GuessesNames: false,
+			PromptCentsPer1K: 0.20, CompletionCentsPer1K: 0.20,
+		},
+	}
+}
+
+// ModelNames returns the evaluated model identifiers in paper order.
+func ModelNames() []string { return []string{"gpt-4", "gpt-3.5-turbo", "text-curie-001"} }
+
+// knowledgeLexicon derives the model's world-knowledge lexicon: a
+// deterministic per-model subset of the domain abbreviation table. A model
+// that "knows" an expansion can connect an abbreviation in a question to
+// the full phrase in documentation, like a real LLM that has read 3GPP
+// specs on the web.
+func knowledgeLexicon(modelName string, fraction float64) *embedding.Lexicon {
+	lex := embedding.NewLexicon()
+	for _, e := range embedding.DomainExpansions() {
+		if hashFrac(modelName+"|knows|"+e[0]) < fraction {
+			lex.Add(e[0], e[1])
+		}
+	}
+	return lex
+}
+
+// hashFrac maps a string to a stable fraction in [0, 1).
+func hashFrac(s string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return float64(h.Sum64()%1_000_003) / 1_000_003
+}
+
+// Usage reports token consumption of one completion.
+type Usage struct {
+	PromptTokens     int
+	CompletionTokens int
+}
+
+// CostCents prices a usage under the capability's token prices.
+func (c Capability) CostCents(u Usage) float64 {
+	return float64(u.PromptTokens)/1000*c.PromptCentsPer1K +
+		float64(u.CompletionTokens)/1000*c.CompletionCentsPer1K
+}
+
+// String renders the capability for logs.
+func (c Capability) String() string {
+	return fmt.Sprintf("ctx=%d know=%.2f selNoise=%.2f fewshot=%.2f codegenNoise=%.2f",
+		c.ContextWindow, c.Knowledge, c.SelectionNoise, c.PatternFewShot, c.CodegenNoise)
+}

@@ -1,0 +1,169 @@
+package llm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRolesFor(t *testing.T) {
+	cases := []struct {
+		task     TaskKind
+		question string
+		want     []string
+	}{
+		{TaskSuccessRate, "irrelevant", []string{"success", "attempt"}},
+		{TaskTimeoutShare, "irrelevant", []string{"timeout", "attempt"}},
+		{TaskUnhappyRatio, "irrelevant", []string{"failure", "timeout", "attempt"}},
+		{TaskRate, "What is the rate of paging attempts per second?", []string{"attempt"}},
+		{TaskIncrease, "How many paging failures were there in the last hour?", []string{"failure"}},
+		{TaskCurrentTotal, "How many registered UEs are there?", []string{""}},
+	}
+	for _, c := range cases {
+		got := rolesFor(c.task, c.question)
+		if len(got) != len(c.want) {
+			t.Errorf("rolesFor(%s, %q) = %v, want %v", c.task, c.question, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("rolesFor(%s, %q) = %v, want %v", c.task, c.question, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestQuestionVariant(t *testing.T) {
+	cases := map[string]string{
+		"How many attempts?":                  "attempt",
+		"How many failed procedures?":         "failure",
+		"How many timed out?":                 "timeout",
+		"How many successful completions?":    "success",
+		"How many rejected requests?":         "reject",
+		"How many retransmissions were sent?": "retransmission",
+		"How many requests were sent?":        "request",
+		"How many PDU sessions are active?":   "",
+	}
+	for q, want := range cases {
+		if got := questionVariant(q); got != want {
+			t.Errorf("questionVariant(%q) = %q, want %q", q, got, want)
+		}
+	}
+}
+
+func TestComposeRole(t *testing.T) {
+	cases := []struct{ stem, role, sample, want string }{
+		{"amfcc_n1_auth", "attempt", "amfcc_n1_auth_success", "amfcc_n1_auth_attempt"},
+		{"amfCcN1Auth", "attempt", "amfCcN1AuthSucc", "amfCcN1AuthAtt"},
+		{"amfCcN1Auth", "success", "amfCcN1AuthAtt", "amfCcN1AuthSucc"},
+	}
+	for _, c := range cases {
+		if got := composeRole(c.stem, c.role, c.sample); got != c.want {
+			t.Errorf("composeRole(%q, %q, %q) = %q, want %q", c.stem, c.role, c.sample, got, c.want)
+		}
+	}
+}
+
+func TestCorruptAlwaysChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	metrics := []string{"a_success", "a_attempt"}
+	query := ReferenceQuery(TaskSuccessRate, metrics)
+	changed := 0
+	for i := 0; i < 50; i++ {
+		if corrupt(query, metrics, rng) != query {
+			changed++
+		}
+	}
+	if changed < 45 {
+		t.Errorf("corrupt left the query unchanged %d/50 times", 50-changed)
+	}
+}
+
+func TestDecomposedHalvesNoiseStatistically(t *testing.T) {
+	// Over many synthetic questions, the decomposed pipeline must produce
+	// strictly fewer corrupted/naive generations than the plain one.
+	m := MustNew("gpt-3.5-turbo") // noisy enough to measure
+	ref := ReferenceQuery(TaskSuccessRate, []string{"x_success", "x_attempt"})
+	countGood := func(decomposed bool) int {
+		good := 0
+		for i := 0; i < 300; i++ {
+			p := &Prompt{
+				Question: "What is the widget success rate? #" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i%7)),
+				Examples: []Example{{Question: "q", Task: TaskSuccessRate, Metrics: []string{"a", "b"}, Query: "100 * sum(a) / sum(b)"}},
+			}
+			resp, err := m.Complete(Request{
+				Kind: KindGenerateQuery, Prompt: p,
+				Metrics: []string{"x_success", "x_attempt"}, Task: TaskSuccessRate,
+				Decomposed: decomposed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Query == ref {
+				good++
+			}
+		}
+		return good
+	}
+	plain, dec := countGood(false), countGood(true)
+	if dec <= plain {
+		t.Errorf("decomposed prompting (%d/300 correct) not better than plain (%d/300)", dec, plain)
+	}
+}
+
+func TestSelectionPrefersLifecycleOverMessages(t *testing.T) {
+	m := MustNew("gpt-4")
+	p := &Prompt{
+		Context: []ContextDoc{
+			{ID: "smfn4_association_setup_request_rx"},
+			{ID: "smfn4_association_setup_request_tx"},
+			{ID: "smfn4_association_setup_success"},
+			{ID: "smfn4_association_setup_attempt"},
+		},
+		Question: "What is the N4 association setup success rate?",
+	}
+	resp, err := m.Complete(Request{Kind: KindSelectMetrics, Prompt: p, Decomposed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Metrics) != 2 || !strings.HasSuffix(resp.Metrics[0], "_success") || !strings.HasSuffix(resp.Metrics[1], "_attempt") {
+		t.Fatalf("selected %v, want the lifecycle pair", resp.Metrics)
+	}
+}
+
+func TestGuessPrefixFollowsContextVotes(t *testing.T) {
+	m := MustNew("gpt-4")
+	// Context dominated by smfsm names sharing question tokens steers the
+	// guessed prefix.
+	p := &Prompt{
+		Context: []ContextDoc{
+			{ID: "smfsm_pdu_session_establishment_attempt"},
+			{ID: "smfsm_pdu_session_release_attempt"},
+			{ID: "smfsm_qos_flow_create_attempt"},
+		},
+		Question: "What is the pdu shadow quota success rate?",
+	}
+	resp, err := m.Complete(Request{Kind: KindSelectMetrics, Prompt: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Metrics) == 0 || !strings.HasPrefix(resp.Metrics[0], "smfsm_") {
+		t.Errorf("guess did not follow prefix votes: %v", resp.Metrics)
+	}
+}
+
+func TestBuilderDropsExamplesWhenContextAloneOverflows(t *testing.T) {
+	b := &Builder{TokenBudget: 120}
+	ex := make([]Example, 30)
+	for i := range ex {
+		ex[i] = Example{Question: strings.Repeat("long question text ", 5), Query: "sum(metric_name)"}
+	}
+	p := b.Build([]ContextDoc{{ID: "m", Text: "short"}}, ex, "q?")
+	if p.Tokens() > 120 {
+		t.Fatalf("prompt = %d tokens over budget", p.Tokens())
+	}
+	if len(p.Examples) == len(ex) {
+		t.Error("examples not trimmed")
+	}
+}

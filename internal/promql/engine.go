@@ -1,0 +1,1040 @@
+package promql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"dio/internal/tsdb"
+)
+
+// EngineOptions configures query evaluation.
+type EngineOptions struct {
+	// LookbackDelta bounds how far back an instant selector may reach for
+	// the latest sample (Prometheus default: 5m).
+	LookbackDelta time.Duration
+	// MaxSamples aborts queries that touch more than this many samples;
+	// zero means unlimited.
+	MaxSamples int
+	// Timeout aborts long evaluations; zero means no engine-level timeout
+	// (context cancellation still applies).
+	Timeout time.Duration
+}
+
+// DefaultEngineOptions mirrors Prometheus defaults.
+func DefaultEngineOptions() EngineOptions {
+	return EngineOptions{LookbackDelta: 5 * time.Minute, MaxSamples: 50_000_000, Timeout: 2 * time.Minute}
+}
+
+// Engine evaluates parsed expressions against a tsdb.DB. It is stateless
+// and safe for concurrent use.
+type Engine struct {
+	db   *tsdb.DB
+	opts EngineOptions
+}
+
+// NewEngine returns an engine over db.
+func NewEngine(db *tsdb.DB, opts EngineOptions) *Engine {
+	if opts.LookbackDelta <= 0 {
+		opts.LookbackDelta = 5 * time.Minute
+	}
+	return &Engine{db: db, opts: opts}
+}
+
+// DB returns the engine's backing store.
+func (e *Engine) DB() *tsdb.DB { return e.db }
+
+// ErrTooManySamples is returned when a query exceeds MaxSamples.
+var ErrTooManySamples = errors.New("promql: query touches too many samples")
+
+// evaluator carries per-query state.
+type evaluator struct {
+	ctx     context.Context
+	eng     *Engine
+	ts      int64 // evaluation timestamp (ms)
+	samples int
+}
+
+func (ev *evaluator) account(n int) error {
+	ev.samples += n
+	if ev.eng.opts.MaxSamples > 0 && ev.samples > ev.eng.opts.MaxSamples {
+		return ErrTooManySamples
+	}
+	return ev.ctx.Err()
+}
+
+// Query parses and evaluates input at ts.
+func (e *Engine) Query(ctx context.Context, input string, ts time.Time) (Value, error) {
+	expr, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(ctx, expr, ts)
+}
+
+// Eval evaluates expr at the instant ts.
+func (e *Engine) Eval(ctx context.Context, expr Expr, ts time.Time) (Value, error) {
+	if e.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+		defer cancel()
+	}
+	ev := &evaluator{ctx: ctx, eng: e, ts: ts.UnixMilli()}
+	return ev.eval(expr)
+}
+
+// QueryRange evaluates input at every step in [start, end], producing a
+// matrix (used by dashboard panels).
+func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.Time, step time.Duration) (Matrix, error) {
+	expr, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("promql: non-positive step %v", step)
+	}
+	if end.Before(start) {
+		return nil, fmt.Errorf("promql: range end precedes start")
+	}
+	acc := make(map[string]*MSeries)
+	var order []string
+	for t := start; !t.After(end); t = t.Add(step) {
+		v, err := e.Eval(ctx, expr, t)
+		if err != nil {
+			return nil, err
+		}
+		var vec Vector
+		switch x := v.(type) {
+		case Vector:
+			vec = x
+		case Scalar:
+			vec = Vector{{Labels: nil, T: x.T, V: x.V}}
+		default:
+			return nil, fmt.Errorf("promql: range query requires a vector or scalar expression")
+		}
+		for _, s := range vec {
+			key := s.Labels.Key()
+			ms, ok := acc[key]
+			if !ok {
+				ms = &MSeries{Labels: s.Labels}
+				acc[key] = ms
+				order = append(order, key)
+			}
+			ms.Samples = append(ms.Samples, tsdb.Sample{T: t.UnixMilli(), V: s.V})
+		}
+	}
+	sort.Strings(order)
+	out := make(Matrix, 0, len(order))
+	for _, k := range order {
+		out = append(out, *acc[k])
+	}
+	return out, nil
+}
+
+func (ev *evaluator) eval(expr Expr) (Value, error) {
+	if err := ev.ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch n := expr.(type) {
+	case *NumberLiteral:
+		return Scalar{T: ev.ts, V: n.Val}, nil
+	case *StringLiteral:
+		return String{T: ev.ts, V: n.Val}, nil
+	case *ParenExpr:
+		return ev.eval(n.Expr)
+	case *UnaryExpr:
+		return ev.evalUnary(n)
+	case *VectorSelector:
+		return ev.evalVectorSelector(n)
+	case *MatrixSelector:
+		return ev.evalMatrixSelector(n)
+	case *SubqueryExpr:
+		m, _, _, err := ev.evalSubquery(n)
+		return m, err
+	case *Call:
+		return ev.evalCall(n)
+	case *AggregateExpr:
+		return ev.evalAggregate(n)
+	case *BinaryExpr:
+		return ev.evalBinary(n)
+	}
+	return nil, fmt.Errorf("promql: cannot evaluate %T", expr)
+}
+
+func (ev *evaluator) evalUnary(n *UnaryExpr) (Value, error) {
+	v, err := ev.eval(n.Expr)
+	if err != nil {
+		return nil, err
+	}
+	switch x := v.(type) {
+	case Scalar:
+		return Scalar{T: x.T, V: -x.V}, nil
+	case Vector:
+		out := make(Vector, len(x))
+		for i, s := range x {
+			out[i] = VSample{Labels: s.Labels.Without(tsdb.MetricNameLabel), T: s.T, V: -s.V}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("promql: unary minus on %s", v.ValueType())
+}
+
+func (ev *evaluator) evalVectorSelector(n *VectorSelector) (Value, error) {
+	ts := ev.ts - n.Offset.Milliseconds()
+	points := ev.eng.db.Select(n.Matchers, ts, ev.eng.opts.LookbackDelta.Milliseconds())
+	if err := ev.account(len(points)); err != nil {
+		return nil, err
+	}
+	out := make(Vector, 0, len(points))
+	for _, p := range points {
+		out = append(out, VSample{Labels: p.Labels, T: ev.ts, V: p.Sample.V})
+	}
+	return out, nil
+}
+
+// evalMatrix returns the window series for a matrix selector.
+func (ev *evaluator) evalMatrix(n *MatrixSelector) (Matrix, int64, int64, error) {
+	end := ev.ts - n.VectorSelector.Offset.Milliseconds()
+	start := end - n.Range.Milliseconds()
+	ranges := ev.eng.db.SelectRange(n.VectorSelector.Matchers, start, end)
+	total := 0
+	out := make(Matrix, 0, len(ranges))
+	for _, r := range ranges {
+		total += len(r.Samples)
+		out = append(out, MSeries{Labels: r.Labels, Samples: r.Samples})
+	}
+	if err := ev.account(total); err != nil {
+		return nil, 0, 0, err
+	}
+	return out, start, end, nil
+}
+
+func (ev *evaluator) evalMatrixSelector(n *MatrixSelector) (Value, error) {
+	m, _, _, err := ev.evalMatrix(n)
+	return m, err
+}
+
+// dropName removes __name__, as Prometheus does for any operation that
+// changes the meaning of a series' values.
+func dropName(ls tsdb.Labels) tsdb.Labels { return ls.Without(tsdb.MetricNameLabel) }
+
+func (ev *evaluator) evalCall(n *Call) (Value, error) {
+	name := n.Func.Name
+	switch name {
+	case "time":
+		return Scalar{T: ev.ts, V: float64(ev.ts) / 1000}, nil
+	case "vector":
+		s, err := ev.evalScalar(n.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return Vector{{Labels: nil, T: ev.ts, V: s}}, nil
+	case "scalar":
+		v, err := ev.evalVector(n.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != 1 {
+			return Scalar{T: ev.ts, V: math.NaN()}, nil
+		}
+		return Scalar{T: ev.ts, V: v[0].V}, nil
+	case "absent":
+		v, err := ev.evalVector(n.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(v) > 0 {
+			return Vector{}, nil
+		}
+		return Vector{{Labels: nil, T: ev.ts, V: 1}}, nil
+	case "histogram_quantile":
+		return ev.evalHistogramQuantile(n)
+	case "label_replace":
+		return ev.evalLabelReplace(n)
+	}
+
+	// Range-vector functions.
+	if len(n.Args) >= 1 {
+		if arg, ok := unwrapMatrixArg(n); ok {
+			return ev.evalRangeFunc(n, arg)
+		}
+	}
+
+	// Simple vector→vector math functions.
+	return ev.evalVectorMath(n)
+}
+
+// unwrapMatrixArg returns the range-vector argument of a call (a matrix
+// selector or a subquery), if the function takes one.
+func unwrapMatrixArg(n *Call) (Expr, bool) {
+	for _, a := range n.Args {
+		if p, ok := a.(*ParenExpr); ok {
+			a = p.Expr
+		}
+		switch a.(type) {
+		case *MatrixSelector, *SubqueryExpr:
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// evalRangeArg evaluates a range-vector argument to its window series.
+func (ev *evaluator) evalRangeArg(arg Expr) (Matrix, int64, int64, error) {
+	switch x := arg.(type) {
+	case *MatrixSelector:
+		return ev.evalMatrix(x)
+	case *SubqueryExpr:
+		return ev.evalSubquery(x)
+	}
+	return nil, 0, 0, fmt.Errorf("promql: not a range-vector expression: %T", arg)
+}
+
+func (ev *evaluator) evalRangeFunc(n *Call, arg Expr) (Value, error) {
+	matrix, start, end, err := ev.evalRangeArg(arg)
+	if err != nil {
+		return nil, err
+	}
+	// Scalar parameters (quantile_over_time's φ, predict_linear's horizon).
+	var scalarParam float64
+	for _, a := range n.Args {
+		if a.Type() == ValueScalar {
+			scalarParam, err = ev.evalScalar(a)
+			if err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	out := make(Vector, 0, len(matrix))
+	for _, series := range matrix {
+		var v float64
+		ok := true
+		s := series.Samples
+		switch n.Func.Name {
+		case "rate":
+			v, ok = extrapolatedRate(s, start, end, true, true)
+		case "increase":
+			v, ok = extrapolatedRate(s, start, end, true, false)
+		case "delta":
+			v, ok = extrapolatedRate(s, start, end, false, false)
+		case "irate":
+			if len(s) < 2 {
+				ok = false
+				break
+			}
+			a, b := s[len(s)-2], s[len(s)-1]
+			dv := b.V - a.V
+			if dv < 0 { // counter reset
+				dv = b.V
+			}
+			dt := float64(b.T-a.T) / 1000
+			if dt <= 0 {
+				ok = false
+				break
+			}
+			v = dv / dt
+		case "idelta":
+			if len(s) < 2 {
+				ok = false
+				break
+			}
+			v = s[len(s)-1].V - s[len(s)-2].V
+		case "resets":
+			prev := s[0].V
+			for _, x := range s[1:] {
+				if x.V < prev {
+					v++
+				}
+				prev = x.V
+			}
+		case "changes":
+			prev := s[0].V
+			for _, x := range s[1:] {
+				if x.V != prev {
+					v++
+				}
+				prev = x.V
+			}
+		case "avg_over_time":
+			v = avgOverTime(s)
+		case "sum_over_time":
+			v = sumOverTime(s)
+		case "min_over_time":
+			v = minOverTime(s)
+		case "max_over_time":
+			v = maxOverTime(s)
+		case "count_over_time":
+			v = float64(len(s))
+		case "last_over_time":
+			v = s[len(s)-1].V
+		case "stddev_over_time":
+			v = math.Sqrt(stdvarOverTime(s))
+		case "stdvar_over_time":
+			v = stdvarOverTime(s)
+		case "quantile_over_time":
+			vals := make([]float64, len(s))
+			for i, x := range s {
+				vals[i] = x.V
+			}
+			v = quantile(scalarParam, vals)
+		case "deriv":
+			if len(s) < 2 {
+				ok = false
+				break
+			}
+			v, _ = linearRegression(s, s[0].T)
+		case "predict_linear":
+			if len(s) < 2 {
+				ok = false
+				break
+			}
+			slope, intercept := linearRegression(s, ev.ts)
+			v = intercept + slope*scalarParam
+		default:
+			return nil, fmt.Errorf("promql: unhandled range function %q", n.Func.Name)
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, VSample{Labels: dropName(series.Labels), T: ev.ts, V: v})
+	}
+	out.Sort()
+	return out, nil
+}
+
+func (ev *evaluator) evalVectorMath(n *Call) (Value, error) {
+	vec, err := ev.evalVector(n.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	scalars := make([]float64, 0, 2)
+	for _, a := range n.Args[1:] {
+		s, err := ev.evalScalar(a)
+		if err != nil {
+			return nil, err
+		}
+		scalars = append(scalars, s)
+	}
+	name := n.Func.Name
+	apply := func(v float64) float64 {
+		switch name {
+		case "abs":
+			return math.Abs(v)
+		case "ceil":
+			return math.Ceil(v)
+		case "floor":
+			return math.Floor(v)
+		case "exp":
+			return math.Exp(v)
+		case "ln":
+			return math.Log(v)
+		case "log2":
+			return math.Log2(v)
+		case "log10":
+			return math.Log10(v)
+		case "sqrt":
+			return math.Sqrt(v)
+		case "round":
+			to := 1.0
+			if len(scalars) > 0 {
+				to = scalars[0]
+			}
+			if to == 0 {
+				return math.NaN()
+			}
+			return math.Round(v/to) * to
+		case "clamp":
+			return math.Max(scalars[0], math.Min(scalars[1], v))
+		case "clamp_min":
+			return math.Max(scalars[0], v)
+		case "clamp_max":
+			return math.Min(scalars[0], v)
+		case "timestamp":
+			return 0 // replaced below
+		case "sort", "sort_desc":
+			return v // ordering handled after the map
+		}
+		return math.NaN()
+	}
+	out := make(Vector, 0, len(vec))
+	for _, s := range vec {
+		v := apply(s.V)
+		if name == "timestamp" {
+			v = float64(s.T) / 1000
+		}
+		out = append(out, VSample{Labels: dropName(s.Labels), T: s.T, V: v})
+	}
+	switch name {
+	case "sort":
+		sort.SliceStable(out, func(i, j int) bool { return out[i].V < out[j].V })
+	case "sort_desc":
+		sort.SliceStable(out, func(i, j int) bool { return out[i].V > out[j].V })
+	}
+	return out, nil
+}
+
+// evalHistogramQuantile implements classic histogram quantiles over
+// <metric>_bucket series with le labels.
+func (ev *evaluator) evalHistogramQuantile(n *Call) (Value, error) {
+	phi, err := ev.evalScalar(n.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	vec, err := ev.evalVector(n.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string][]bucket)
+	groupLabels := make(map[string]tsdb.Labels)
+	for _, s := range vec {
+		leStr := s.Labels.Get("le")
+		if leStr == "" {
+			continue
+		}
+		le, err := parseLE(leStr)
+		if err != nil {
+			continue
+		}
+		rest := s.Labels.Without("le", tsdb.MetricNameLabel)
+		key := rest.Key()
+		groups[key] = append(groups[key], bucket{le: le, count: s.V})
+		groupLabels[key] = rest
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make(Vector, 0, len(keys))
+	for _, k := range keys {
+		bs := groups[k]
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		out = append(out, VSample{Labels: groupLabels[k], T: ev.ts, V: bucketQuantile(phi, bs)})
+	}
+	return out, nil
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" || s == "inf" || s == "Inf" {
+		return math.Inf(1), nil
+	}
+	var v float64
+	_, err := fmt.Sscanf(s, "%g", &v)
+	return v, err
+}
+
+// bucket is one cumulative histogram bucket (le upper bound, count).
+type bucket struct {
+	le    float64
+	count float64
+}
+
+// bucketQuantile interpolates the φ-quantile from cumulative buckets.
+func bucketQuantile(phi float64, bs []bucket) float64 {
+	if len(bs) < 2 || math.IsInf(bs[len(bs)-1].le, -1) {
+		return math.NaN()
+	}
+	if !math.IsInf(bs[len(bs)-1].le, 1) {
+		return math.NaN()
+	}
+	total := bs[len(bs)-1].count
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := phi * total
+	i := 0
+	for i < len(bs)-1 && bs[i].count < rank {
+		i++
+	}
+	if i == 0 {
+		upper := bs[0].le
+		if upper <= 0 {
+			return upper
+		}
+		return upper * rank / bs[0].count
+	}
+	if i == len(bs)-1 {
+		return bs[len(bs)-2].le
+	}
+	lowerBound, upperBound := bs[i-1].le, bs[i].le
+	lowerCount, upperCount := bs[i-1].count, bs[i].count
+	if upperCount == lowerCount {
+		return upperBound
+	}
+	return lowerBound + (upperBound-lowerBound)*(rank-lowerCount)/(upperCount-lowerCount)
+}
+
+func (ev *evaluator) evalLabelReplace(n *Call) (Value, error) {
+	vec, err := ev.evalVector(n.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	dst := n.Args[1].(*StringLiteral).Val
+	repl := n.Args[2].(*StringLiteral).Val
+	src := n.Args[3].(*StringLiteral).Val
+	pattern := n.Args[4].(*StringLiteral).Val
+	re, err := regexp.Compile("^(?:" + pattern + ")$")
+	if err != nil {
+		return nil, fmt.Errorf("promql: label_replace pattern: %w", err)
+	}
+	out := make(Vector, 0, len(vec))
+	for _, s := range vec {
+		val := s.Labels.Get(src)
+		idx := re.FindStringSubmatchIndex(val)
+		ls := s.Labels
+		if idx != nil {
+			res := re.ExpandString(nil, repl, val, idx)
+			if len(res) > 0 {
+				ls = ls.With(dst, string(res))
+			} else {
+				ls = ls.Without(dst)
+			}
+		}
+		out = append(out, VSample{Labels: ls, T: s.T, V: s.V})
+	}
+	return out, nil
+}
+
+// evalScalar evaluates an expression that must yield a scalar.
+func (ev *evaluator) evalScalar(e Expr) (float64, error) {
+	v, err := ev.eval(e)
+	if err != nil {
+		return 0, err
+	}
+	s, ok := v.(Scalar)
+	if !ok {
+		return 0, fmt.Errorf("promql: expected scalar, got %s", v.ValueType())
+	}
+	return s.V, nil
+}
+
+// evalVector evaluates an expression that must yield an instant vector.
+func (ev *evaluator) evalVector(e Expr) (Vector, error) {
+	v, err := ev.eval(e)
+	if err != nil {
+		return nil, err
+	}
+	vec, ok := v.(Vector)
+	if !ok {
+		return nil, fmt.Errorf("promql: expected instant vector, got %s", v.ValueType())
+	}
+	return vec, nil
+}
+
+// --- aggregation ---------------------------------------------------------
+
+func (ev *evaluator) evalAggregate(n *AggregateExpr) (Value, error) {
+	vec, err := ev.evalVector(n.Expr)
+	if err != nil {
+		return nil, err
+	}
+	var param float64
+	var strParam string
+	if n.Param != nil {
+		switch p := n.Param.(type) {
+		case *StringLiteral:
+			strParam = p.Val
+		default:
+			param, err = ev.evalScalar(n.Param)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	groupOf := func(ls tsdb.Labels) tsdb.Labels {
+		if n.Without {
+			drop := append([]string{tsdb.MetricNameLabel}, n.Grouping...)
+			return ls.Without(drop...)
+		}
+		if len(n.Grouping) == 0 {
+			return nil
+		}
+		return ls.Keep(n.Grouping...)
+	}
+
+	type group struct {
+		labels tsdb.Labels
+		vals   []float64
+		elems  Vector // for topk/bottomk
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, s := range vec {
+		gl := groupOf(s.Labels)
+		key := gl.Key()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{labels: gl}
+			groups[key] = g
+			order = append(order, key)
+		}
+		if n.Op == AggCountValues {
+			g.elems = append(g.elems, s)
+		} else {
+			g.vals = append(g.vals, s.V)
+			g.elems = append(g.elems, s)
+		}
+	}
+	sort.Strings(order)
+
+	out := make(Vector, 0, len(groups))
+	for _, key := range order {
+		g := groups[key]
+		switch n.Op {
+		case AggTopK, AggBottomK:
+			k := int(param)
+			if k <= 0 {
+				continue
+			}
+			elems := append(Vector(nil), g.elems...)
+			if n.Op == AggTopK {
+				sort.SliceStable(elems, func(i, j int) bool { return elems[i].V > elems[j].V })
+			} else {
+				sort.SliceStable(elems, func(i, j int) bool { return elems[i].V < elems[j].V })
+			}
+			if len(elems) > k {
+				elems = elems[:k]
+			}
+			for _, e := range elems {
+				out = append(out, VSample{Labels: e.Labels, T: ev.ts, V: e.V})
+			}
+			continue
+		case AggCountValues:
+			counts := make(map[string]int)
+			for _, e := range g.elems {
+				counts[formatFloat(e.V)]++
+			}
+			vals := make([]string, 0, len(counts))
+			for v := range counts {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				out = append(out, VSample{Labels: g.labels.With(strParam, v), T: ev.ts, V: float64(counts[v])})
+			}
+			continue
+		}
+		var v float64
+		switch n.Op {
+		case AggSum:
+			for _, x := range g.vals {
+				v += x
+			}
+		case AggAvg:
+			for _, x := range g.vals {
+				v += x
+			}
+			v /= float64(len(g.vals))
+		case AggMin:
+			v = g.vals[0]
+			for _, x := range g.vals[1:] {
+				if x < v {
+					v = x
+				}
+			}
+		case AggMax:
+			v = g.vals[0]
+			for _, x := range g.vals[1:] {
+				if x > v {
+					v = x
+				}
+			}
+		case AggCount:
+			v = float64(len(g.vals))
+		case AggGroup:
+			v = 1
+		case AggStddev, AggStdvar:
+			var mean float64
+			for _, x := range g.vals {
+				mean += x
+			}
+			mean /= float64(len(g.vals))
+			var sq float64
+			for _, x := range g.vals {
+				d := x - mean
+				sq += d * d
+			}
+			v = sq / float64(len(g.vals))
+			if n.Op == AggStddev {
+				v = math.Sqrt(v)
+			}
+		case AggQuantile:
+			v = quantile(param, append([]float64(nil), g.vals...))
+		default:
+			return nil, fmt.Errorf("promql: unhandled aggregation %s", n.Op)
+		}
+		out = append(out, VSample{Labels: g.labels, T: ev.ts, V: v})
+	}
+	out.Sort()
+	return out, nil
+}
+
+// --- binary operators ----------------------------------------------------
+
+func (ev *evaluator) evalBinary(n *BinaryExpr) (Value, error) {
+	lv, err := ev.eval(n.LHS)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := ev.eval(n.RHS)
+	if err != nil {
+		return nil, err
+	}
+	if n.Op.isSetOp() {
+		lvec, lok := lv.(Vector)
+		rvec, rok := rv.(Vector)
+		if !lok || !rok {
+			return nil, fmt.Errorf("promql: set operator %s requires vectors", n.Op)
+		}
+		return evalSetOp(n, lvec, rvec), nil
+	}
+	switch l := lv.(type) {
+	case Scalar:
+		switch r := rv.(type) {
+		case Scalar:
+			v, keep := binArith(n.Op, l.V, r.V, n.ReturnBool)
+			if !keep {
+				// Scalar comparisons without bool are rejected at parse
+				// time; keep=false cannot happen here, but be safe.
+				return Scalar{T: ev.ts, V: math.NaN()}, nil
+			}
+			return Scalar{T: ev.ts, V: v}, nil
+		case Vector:
+			return vectorScalarOp(n, r, l.V, true, ev.ts), nil
+		}
+	case Vector:
+		switch r := rv.(type) {
+		case Scalar:
+			return vectorScalarOp(n, l, r.V, false, ev.ts), nil
+		case Vector:
+			return evalVectorVector(n, l, r, ev.ts)
+		}
+	}
+	return nil, fmt.Errorf("promql: unsupported operand types for %s", n.Op)
+}
+
+// binArith applies op to two floats. keep reports whether a comparison
+// (without bool) keeps the sample.
+func binArith(op BinOp, l, r float64, returnBool bool) (float64, bool) {
+	switch op {
+	case OpAdd:
+		return l + r, true
+	case OpSub:
+		return l - r, true
+	case OpMul:
+		return l * r, true
+	case OpDiv:
+		return l / r, true
+	case OpMod:
+		return math.Mod(l, r), true
+	case OpPow:
+		return math.Pow(l, r), true
+	}
+	var truth bool
+	switch op {
+	case OpEql:
+		truth = l == r
+	case OpNeq:
+		truth = l != r
+	case OpGtr:
+		truth = l > r
+	case OpLss:
+		truth = l < r
+	case OpGte:
+		truth = l >= r
+	case OpLte:
+		truth = l <= r
+	}
+	if returnBool {
+		if truth {
+			return 1, true
+		}
+		return 0, true
+	}
+	return l, truth
+}
+
+// vectorScalarOp applies op between each vector sample and a scalar.
+// swapped indicates the scalar was the left operand.
+func vectorScalarOp(n *BinaryExpr, vec Vector, scalar float64, swapped bool, ts int64) Vector {
+	out := make(Vector, 0, len(vec))
+	for _, s := range vec {
+		l, r := s.V, scalar
+		if swapped {
+			l, r = r, l
+		}
+		v, keep := binArith(n.Op, l, r, n.ReturnBool)
+		if n.Op.isComparison() && !n.ReturnBool {
+			if !keep {
+				continue
+			}
+			v = s.V
+		}
+		out = append(out, VSample{Labels: dropName(s.Labels), T: ts, V: v})
+	}
+	return out
+}
+
+// matchKey computes the join identity of a label set under the matching
+// clause.
+func matchKey(ls tsdb.Labels, m *VectorMatching) string {
+	base := ls.Without(tsdb.MetricNameLabel)
+	if m == nil {
+		return base.Key()
+	}
+	if m.On {
+		return base.Keep(m.MatchingLabels...).Key()
+	}
+	return base.Without(m.MatchingLabels...).Key()
+}
+
+// evalVectorVector performs vector matching: one-to-one by default,
+// many-to-one with group_left, one-to-many with group_right.
+func evalVectorVector(n *BinaryExpr, l, r Vector, ts int64) (Value, error) {
+	card := CardOneToOne
+	if n.Matching != nil {
+		card = n.Matching.Card
+	}
+	// Normalise group_right to group_left by swapping operands (and the
+	// operator's argument order).
+	swapped := false
+	if card == CardOneToMany {
+		l, r = r, l
+		swapped = true
+	}
+	rightBy := make(map[string]VSample, len(r))
+	for _, s := range r {
+		key := matchKey(s.Labels, n.Matching)
+		if prev, dup := rightBy[key]; dup {
+			side := "right"
+			if swapped {
+				side = "left"
+			}
+			return nil, fmt.Errorf("promql: many-to-many matching: %s side has duplicate match group (%s and %s)", side, prev.Labels, s.Labels)
+		}
+		rightBy[key] = s
+	}
+	seenLeft := make(map[string]bool, len(l))
+	out := make(Vector, 0, len(l))
+	for _, s := range l {
+		key := matchKey(s.Labels, n.Matching)
+		rs, ok := rightBy[key]
+		if !ok {
+			continue
+		}
+		if card == CardOneToOne {
+			if seenLeft[key] {
+				return nil, fmt.Errorf("promql: many-to-one matching requires group_left (duplicate left group %s)", s.Labels)
+			}
+			seenLeft[key] = true
+		}
+		lv, rv := s.V, rs.V
+		if swapped {
+			lv, rv = rv, lv
+		}
+		v, keep := binArith(n.Op, lv, rv, n.ReturnBool)
+		if n.Op.isComparison() && !n.ReturnBool {
+			if !keep {
+				continue
+			}
+			v = lv
+		}
+		ls := dropName(s.Labels)
+		if n.Matching != nil && n.Matching.On && card == CardOneToOne {
+			ls = ls.Keep(n.Matching.MatchingLabels...)
+		}
+		// group modifiers copy the requested labels from the "one" side.
+		if card != CardOneToOne && n.Matching != nil {
+			for _, name := range n.Matching.Include {
+				if v := rs.Labels.Get(name); v != "" {
+					ls = ls.With(name, v)
+				}
+			}
+		}
+		out = append(out, VSample{Labels: ls, T: ts, V: v})
+	}
+	out.Sort()
+	return out, nil
+}
+
+// evalSetOp implements and / or / unless.
+func evalSetOp(n *BinaryExpr, l, r Vector) Vector {
+	keyOf := func(ls tsdb.Labels) string { return matchKey(ls, n.Matching) }
+	switch n.Op {
+	case OpAnd:
+		rset := make(map[string]bool, len(r))
+		for _, s := range r {
+			rset[keyOf(s.Labels)] = true
+		}
+		out := make(Vector, 0, len(l))
+		for _, s := range l {
+			if rset[keyOf(s.Labels)] {
+				out = append(out, s)
+			}
+		}
+		return out
+	case OpUnless:
+		rset := make(map[string]bool, len(r))
+		for _, s := range r {
+			rset[keyOf(s.Labels)] = true
+		}
+		out := make(Vector, 0, len(l))
+		for _, s := range l {
+			if !rset[keyOf(s.Labels)] {
+				out = append(out, s)
+			}
+		}
+		return out
+	case OpOr:
+		lset := make(map[string]bool, len(l))
+		out := append(Vector(nil), l...)
+		for _, s := range l {
+			lset[s.Labels.Key()] = true
+		}
+		for _, s := range r {
+			if !lset[s.Labels.Key()] {
+				out = append(out, s)
+			}
+		}
+		out.Sort()
+		return out
+	}
+	return nil
+}
+
+// FormatValue renders a Value for human display (used by the CLI and the
+// copilot's answer assembly).
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case Scalar:
+		return formatFloat(x.V)
+	case Vector:
+		if len(x) == 0 {
+			return "(empty result)"
+		}
+		var b strings.Builder
+		for i, s := range x {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			if len(s.Labels) == 0 {
+				b.WriteString(formatFloat(s.V))
+			} else {
+				fmt.Fprintf(&b, "%s = %s", s.Labels, formatFloat(s.V))
+			}
+		}
+		return b.String()
+	case Matrix:
+		return x.String()
+	case String:
+		return x.V
+	}
+	return ""
+}

@@ -1,0 +1,383 @@
+// Package promql implements a lexer, parser and evaluation engine for the
+// subset of PromQL exercised by operator analytics workloads: instant and
+// range vector selectors with label matchers and offsets, the standard
+// aggregation operators with by/without grouping, counter/gauge functions
+// (rate, increase, *_over_time, ...), arithmetic/comparison/set binary
+// operators with one-to-one vector matching, and classic histogram
+// quantiles.
+//
+// The paper's metric of merit — execution accuracy (EX) — requires running
+// model-generated queries against a database and comparing numeric output
+// with a reference; this package is that execution substrate.
+package promql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// TokenType enumerates lexical token kinds.
+type TokenType int
+
+// Token kinds.
+const (
+	EOF TokenType = iota
+	ERROR
+	IDENT
+	NUMBER
+	STRING
+	DURATION
+
+	LPAREN
+	RPAREN
+	LBRACE
+	RBRACE
+	LBRACKET
+	RBRACKET
+	COMMA
+	COLON
+
+	ADD // +
+	SUB // -
+	MUL // *
+	DIV // /
+	MOD // %
+	POW // ^
+
+	EQL       // == (comparison)
+	NEQ       // !=
+	GTR       // >
+	LSS       // <
+	GTE       // >=
+	LTE       // <=
+	ASSIGN    // = (label matcher)
+	EQLREGEX  // =~
+	NEQREGEX  // !~
+	LANDKW    // and
+	LORKW     // or
+	LUNLESSKW // unless
+	BYKW      // by
+	WITHOUTKW // without
+	OFFSETKW  // offset
+	BOOLKW    // bool
+	ONKW      // on
+	IGNORINGKW
+	GROUPLEFTKW
+	GROUPRIGHTKW
+)
+
+var tokenNames = map[TokenType]string{
+	EOF: "EOF", ERROR: "ERROR", IDENT: "IDENT", NUMBER: "NUMBER",
+	STRING: "STRING", DURATION: "DURATION", LPAREN: "(", RPAREN: ")",
+	LBRACE: "{", RBRACE: "}", LBRACKET: "[", RBRACKET: "]", COMMA: ",",
+	COLON: ":", ADD: "+", SUB: "-", MUL: "*", DIV: "/", MOD: "%", POW: "^",
+	EQL: "==", NEQ: "!=", GTR: ">", LSS: "<", GTE: ">=", LTE: "<=",
+	ASSIGN: "=", EQLREGEX: "=~", NEQREGEX: "!~", LANDKW: "and",
+	LORKW: "or", LUNLESSKW: "unless", BYKW: "by", WITHOUTKW: "without",
+	OFFSETKW: "offset", BOOLKW: "bool", ONKW: "on", IGNORINGKW: "ignoring",
+	GROUPLEFTKW: "group_left", GROUPRIGHTKW: "group_right",
+}
+
+// String returns a readable name for the token type.
+func (t TokenType) String() string {
+	if s, ok := tokenNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenType(%d)", int(t))
+}
+
+var keywords = map[string]TokenType{
+	"and": LANDKW, "or": LORKW, "unless": LUNLESSKW, "by": BYKW,
+	"without": WITHOUTKW, "offset": OFFSETKW, "bool": BOOLKW,
+	"on": ONKW, "ignoring": IGNORINGKW,
+	"group_left": GROUPLEFTKW, "group_right": GROUPRIGHTKW,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Type TokenType
+	Text string
+	Pos  int
+}
+
+// Lexer turns a PromQL string into tokens.
+type Lexer struct {
+	input string
+	pos   int
+}
+
+// NewLexer returns a lexer over input.
+func NewLexer(input string) *Lexer { return &Lexer{input: input} }
+
+// Lex returns all tokens of input, ending with EOF, or the first ERROR
+// token encountered.
+func Lex(input string) []Token {
+	lx := NewLexer(input)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Type == EOF || t.Type == ERROR {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) errorf(pos int, format string, args ...any) Token {
+	return Token{Type: ERROR, Text: fmt.Sprintf(format, args...), Pos: pos}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() Token {
+	for l.pos < len(l.input) && isSpace(l.input[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return Token{Type: EOF, Pos: l.pos}
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == '#':
+		// Comment to end of line.
+		for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+			l.pos++
+		}
+		return l.Next()
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.input) && isDigit(l.input[l.pos+1])):
+		return l.lexNumberOrDuration(start)
+	case isAlpha(c):
+		return l.lexIdent(start)
+	case c == '"' || c == '\'':
+		return l.lexString(start, c)
+	}
+	l.pos++
+	two := ""
+	if l.pos < len(l.input) {
+		two = l.input[start : l.pos+1]
+	}
+	switch two {
+	case "==":
+		l.pos++
+		return Token{Type: EQL, Text: "==", Pos: start}
+	case "!=":
+		l.pos++
+		return Token{Type: NEQ, Text: "!=", Pos: start}
+	case ">=":
+		l.pos++
+		return Token{Type: GTE, Text: ">=", Pos: start}
+	case "<=":
+		l.pos++
+		return Token{Type: LTE, Text: "<=", Pos: start}
+	case "=~":
+		l.pos++
+		return Token{Type: EQLREGEX, Text: "=~", Pos: start}
+	case "!~":
+		l.pos++
+		return Token{Type: NEQREGEX, Text: "!~", Pos: start}
+	}
+	switch c {
+	case '(':
+		return Token{Type: LPAREN, Text: "(", Pos: start}
+	case ')':
+		return Token{Type: RPAREN, Text: ")", Pos: start}
+	case '{':
+		return Token{Type: LBRACE, Text: "{", Pos: start}
+	case '}':
+		return Token{Type: RBRACE, Text: "}", Pos: start}
+	case '[':
+		return Token{Type: LBRACKET, Text: "[", Pos: start}
+	case ']':
+		return Token{Type: RBRACKET, Text: "]", Pos: start}
+	case ',':
+		return Token{Type: COMMA, Text: ",", Pos: start}
+	case ':':
+		return Token{Type: COLON, Text: ":", Pos: start}
+	case '+':
+		return Token{Type: ADD, Text: "+", Pos: start}
+	case '-':
+		return Token{Type: SUB, Text: "-", Pos: start}
+	case '*':
+		return Token{Type: MUL, Text: "*", Pos: start}
+	case '/':
+		return Token{Type: DIV, Text: "/", Pos: start}
+	case '%':
+		return Token{Type: MOD, Text: "%", Pos: start}
+	case '^':
+		return Token{Type: POW, Text: "^", Pos: start}
+	case '>':
+		return Token{Type: GTR, Text: ">", Pos: start}
+	case '<':
+		return Token{Type: LSS, Text: "<", Pos: start}
+	case '=':
+		return Token{Type: ASSIGN, Text: "=", Pos: start}
+	case '!':
+		return l.errorf(start, "unexpected '!'")
+	}
+	return l.errorf(start, "unexpected character %q", c)
+}
+
+func (l *Lexer) lexNumberOrDuration(start int) Token {
+	for l.pos < len(l.input) && (isDigit(l.input[l.pos]) || l.input[l.pos] == '.') {
+		l.pos++
+	}
+	// Exponent part.
+	if l.pos < len(l.input) && (l.input[l.pos] == 'e' || l.input[l.pos] == 'E') {
+		mark := l.pos
+		l.pos++
+		if l.pos < len(l.input) && (l.input[l.pos] == '+' || l.input[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.input) && isDigit(l.input[l.pos]) {
+			for l.pos < len(l.input) && isDigit(l.input[l.pos]) {
+				l.pos++
+			}
+			return Token{Type: NUMBER, Text: l.input[start:l.pos], Pos: start}
+		}
+		l.pos = mark
+	}
+	// Duration suffix?
+	if l.pos < len(l.input) && isDurationUnitStart(l.input[l.pos]) {
+		for l.pos < len(l.input) && (isDigit(l.input[l.pos]) || isDurationUnitStart(l.input[l.pos])) {
+			l.pos++
+		}
+		text := l.input[start:l.pos]
+		if _, err := ParseDuration(text); err != nil {
+			return l.errorf(start, "bad duration %q: %v", text, err)
+		}
+		return Token{Type: DURATION, Text: text, Pos: start}
+	}
+	return Token{Type: NUMBER, Text: l.input[start:l.pos], Pos: start}
+}
+
+func (l *Lexer) lexIdent(start int) Token {
+	for l.pos < len(l.input) && (isAlpha(l.input[l.pos]) || isDigit(l.input[l.pos]) || l.input[l.pos] == ':') {
+		l.pos++
+	}
+	text := l.input[start:l.pos]
+	if kw, ok := keywords[strings.ToLower(text)]; ok {
+		return Token{Type: kw, Text: strings.ToLower(text), Pos: start}
+	}
+	return Token{Type: IDENT, Text: text, Pos: start}
+}
+
+func (l *Lexer) lexString(start int, quote byte) Token {
+	l.pos++ // consume opening quote
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '\\' && l.pos+1 < len(l.input) {
+			next := l.input[l.pos+1]
+			switch next {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"', '\'':
+				b.WriteByte(next)
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(next)
+			}
+			l.pos += 2
+			continue
+		}
+		if c == quote {
+			l.pos++
+			return Token{Type: STRING, Text: b.String(), Pos: start}
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return l.errorf(start, "unterminated string")
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+func isDurationUnitStart(c byte) bool {
+	switch c {
+	case 's', 'm', 'h', 'd', 'w', 'y':
+		return true
+	}
+	return false
+}
+
+// ParseDuration parses Prometheus duration notation: a concatenation of
+// <number><unit> with units ms, s, m, h, d, w, y (e.g. "5m", "1h30m").
+func ParseDuration(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, fmt.Errorf("promql: empty duration")
+	}
+	var total time.Duration
+	i := 0
+	for i < len(s) {
+		j := i
+		for j < len(s) && isDigit(s[j]) {
+			j++
+		}
+		if j == i {
+			return 0, fmt.Errorf("promql: bad duration %q", s)
+		}
+		n, err := strconv.ParseInt(s[i:j], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("promql: bad duration %q: %w", s, err)
+		}
+		var unit time.Duration
+		var unitLen int
+		switch {
+		case strings.HasPrefix(s[j:], "ms"):
+			unit, unitLen = time.Millisecond, 2
+		case strings.HasPrefix(s[j:], "s"):
+			unit, unitLen = time.Second, 1
+		case strings.HasPrefix(s[j:], "m"):
+			unit, unitLen = time.Minute, 1
+		case strings.HasPrefix(s[j:], "h"):
+			unit, unitLen = time.Hour, 1
+		case strings.HasPrefix(s[j:], "d"):
+			unit, unitLen = 24*time.Hour, 1
+		case strings.HasPrefix(s[j:], "w"):
+			unit, unitLen = 7*24*time.Hour, 1
+		case strings.HasPrefix(s[j:], "y"):
+			unit, unitLen = 365*24*time.Hour, 1
+		default:
+			return 0, fmt.Errorf("promql: bad duration unit in %q", s)
+		}
+		total += time.Duration(n) * unit
+		i = j + unitLen
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("promql: non-positive duration %q", s)
+	}
+	return total, nil
+}
+
+// FormatDuration renders d in compact Prometheus notation.
+func FormatDuration(d time.Duration) string {
+	if d <= 0 {
+		return "0s"
+	}
+	var b strings.Builder
+	emit := func(unit time.Duration, suffix string) {
+		if d >= unit {
+			fmt.Fprintf(&b, "%d%s", d/unit, suffix)
+			d %= unit
+		}
+	}
+	emit(365*24*time.Hour, "y")
+	emit(7*24*time.Hour, "w")
+	emit(24*time.Hour, "d")
+	emit(time.Hour, "h")
+	emit(time.Minute, "m")
+	emit(time.Second, "s")
+	emit(time.Millisecond, "ms")
+	if b.Len() == 0 {
+		return "0s"
+	}
+	return b.String()
+}

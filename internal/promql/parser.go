@@ -1,0 +1,526 @@
+package promql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dio/internal/tsdb"
+)
+
+// ParseError describes a syntax or type error with its source position.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return fmt.Sprintf("parse error at %d: %s", e.Pos, e.Msg) }
+
+// Parse parses a PromQL expression.
+func Parse(input string) (Expr, error) {
+	toks := Lex(input)
+	if last := toks[len(toks)-1]; last.Type == ERROR {
+		return nil, &ParseError{Pos: last.Pos, Msg: last.Text}
+	}
+	p := &parser{toks: toks}
+	expr, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Type != EOF {
+		return nil, p.errf("unexpected %q after expression", p.peek().Text)
+	}
+	if err := checkTypes(expr); err != nil {
+		return nil, err
+	}
+	return expr, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+
+// next consumes and returns the current token; at end of input it keeps
+// returning EOF without advancing so callers can never run off the slice.
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if t.Type != EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) backup() {
+	if p.i > 0 {
+		p.i--
+	}
+}
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// binary operator precedence; higher binds tighter. POW is right
+// associative.
+func precedence(t TokenType) int {
+	switch t {
+	case LORKW:
+		return 1
+	case LANDKW, LUNLESSKW:
+		return 2
+	case EQL, NEQ, GTR, LSS, GTE, LTE:
+		return 3
+	case ADD, SUB:
+		return 4
+	case MUL, DIV, MOD:
+		return 5
+	case POW:
+		return 6
+	}
+	return 0
+}
+
+func binOpFor(t TokenType) BinOp {
+	switch t {
+	case ADD:
+		return OpAdd
+	case SUB:
+		return OpSub
+	case MUL:
+		return OpMul
+	case DIV:
+		return OpDiv
+	case MOD:
+		return OpMod
+	case POW:
+		return OpPow
+	case EQL:
+		return OpEql
+	case NEQ:
+		return OpNeq
+	case GTR:
+		return OpGtr
+	case LSS:
+		return OpLss
+	case GTE:
+		return OpGte
+	case LTE:
+		return OpLte
+	case LANDKW:
+		return OpAnd
+	case LORKW:
+		return OpOr
+	case LUNLESSKW:
+		return OpUnless
+	}
+	panic("promql: not a binary operator token")
+}
+
+// parseExpr implements precedence climbing above minPrec.
+func (p *parser) parseExpr(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		prec := precedence(t.Type)
+		if prec == 0 || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		op := binOpFor(t.Type)
+		var returnBool bool
+		if p.peek().Type == BOOLKW {
+			if !op.isComparison() {
+				return nil, p.errf("bool modifier only allowed on comparison operators")
+			}
+			p.next()
+			returnBool = true
+		}
+		var matching *VectorMatching
+		if pt := p.peek().Type; pt == ONKW || pt == IGNORINGKW {
+			on := pt == ONKW
+			p.next()
+			labels, err := p.parseLabelList()
+			if err != nil {
+				return nil, err
+			}
+			matching = &VectorMatching{On: on, MatchingLabels: labels}
+			if gt := p.peek().Type; gt == GROUPLEFTKW || gt == GROUPRIGHTKW {
+				p.next()
+				if gt == GROUPLEFTKW {
+					matching.Card = CardManyToOne
+				} else {
+					matching.Card = CardOneToMany
+				}
+				if op.isSetOp() {
+					return nil, p.errf("group modifiers are not allowed on set operators")
+				}
+				if p.peek().Type == LPAREN {
+					include, err := p.parseLabelList()
+					if err != nil {
+						return nil, err
+					}
+					matching.Include = include
+				}
+			}
+		}
+		nextMin := prec + 1
+		if t.Type == POW { // right associative
+			nextMin = prec
+		}
+		rhs, err := p.parseExpr(nextMin)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, LHS: lhs, RHS: rhs, ReturnBool: returnBool, Matching: matching}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Type == ADD || t.Type == SUB {
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.Type == ADD {
+			return inner, nil
+		}
+		// Constant-fold negative number literals.
+		if n, ok := inner.(*NumberLiteral); ok {
+			return &NumberLiteral{Val: -n.Val}, nil
+		}
+		return &UnaryExpr{Op: OpSub, Expr: inner}, nil
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary expression followed by optional [range]
+// and offset modifiers.
+func (p *parser) parsePostfix() (Expr, error) {
+	expr, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	// Range selector or subquery.
+	if p.peek().Type == LBRACKET {
+		p.next()
+		d := p.next()
+		if d.Type != DURATION {
+			return nil, p.errf("expected duration in range selector, got %q", d.Text)
+		}
+		rng, err := ParseDuration(d.Text)
+		if err != nil {
+			return nil, &ParseError{Pos: d.Pos, Msg: err.Error()}
+		}
+		if p.peek().Type == COLON {
+			// Subquery: <expr>[range:step].
+			p.next()
+			st := p.next()
+			if st.Type != DURATION {
+				return nil, p.errf("expected step duration in subquery, got %q", st.Text)
+			}
+			step, err := ParseDuration(st.Text)
+			if err != nil {
+				return nil, &ParseError{Pos: st.Pos, Msg: err.Error()}
+			}
+			if rb := p.next(); rb.Type != RBRACKET {
+				return nil, p.errf("expected ']' closing subquery")
+			}
+			if t := expr.Type(); t != ValueVector && t != ValueScalar {
+				return nil, p.errf("subquery requires a vector or scalar inner expression")
+			}
+			expr = &SubqueryExpr{Expr: expr, Range: rng, Step: step}
+		} else {
+			vs, ok := expr.(*VectorSelector)
+			if !ok {
+				return nil, p.errf("range selector requires a vector selector")
+			}
+			if rb := p.next(); rb.Type != RBRACKET {
+				return nil, p.errf("expected ']' after range duration")
+			}
+			expr = &MatrixSelector{VectorSelector: vs, Range: rng}
+		}
+	}
+	// Offset modifier.
+	if p.peek().Type == OFFSETKW {
+		p.next()
+		d := p.next()
+		if d.Type != DURATION {
+			return nil, p.errf("expected duration after offset, got %q", d.Text)
+		}
+		off, err := ParseDuration(d.Text)
+		if err != nil {
+			return nil, &ParseError{Pos: d.Pos, Msg: err.Error()}
+		}
+		switch e := expr.(type) {
+		case *VectorSelector:
+			e.Offset = off
+		case *MatrixSelector:
+			e.VectorSelector.Offset = off
+		case *SubqueryExpr:
+			e.Offset = off
+		default:
+			return nil, p.errf("offset modifier only allowed on selectors and subqueries")
+		}
+	}
+	return expr, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Type {
+	case NUMBER:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, &ParseError{Pos: t.Pos, Msg: "bad number: " + err.Error()}
+		}
+		return &NumberLiteral{Val: v}, nil
+	case STRING:
+		p.next()
+		return &StringLiteral{Val: t.Text}, nil
+	case DURATION:
+		// Durations are only valid inside [] and offset; a bare one is an
+		// error but gives a clearer message here.
+		return nil, p.errf("unexpected duration %q", t.Text)
+	case LPAREN:
+		p.next()
+		inner, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if rp := p.next(); rp.Type != RPAREN {
+			return nil, p.errf("expected ')'")
+		}
+		return &ParenExpr{Expr: inner}, nil
+	case LBRACE:
+		// Nameless selector {label="v"}.
+		return p.parseVectorSelector("")
+	case IDENT:
+		p.next()
+		name := t.Text
+		// Aggregation?
+		if op, ok := aggOpsByName[strings.ToLower(name)]; ok {
+			if pt := p.peek().Type; pt == LPAREN || pt == BYKW || pt == WITHOUTKW {
+				return p.parseAggregate(op)
+			}
+		}
+		// Function call?
+		if p.peek().Type == LPAREN {
+			fn, ok := LookupFunction(name)
+			if !ok {
+				return nil, p.errf("unknown function %q", name)
+			}
+			return p.parseCall(fn)
+		}
+		// Vector selector.
+		return p.parseVectorSelector(name)
+	}
+	return nil, p.errf("unexpected %q", t.Text)
+}
+
+// parseVectorSelector parses the optional {matchers} after a metric name
+// (name may be empty for nameless selectors).
+func (p *parser) parseVectorSelector(name string) (Expr, error) {
+	vs := &VectorSelector{Name: name}
+	if name != "" {
+		vs.Matchers = append(vs.Matchers, tsdb.NameMatcher(name))
+	}
+	if p.peek().Type == LBRACE {
+		p.next()
+		for p.peek().Type != RBRACE {
+			ln := p.next()
+			if ln.Type != IDENT {
+				return nil, p.errf("expected label name, got %q", ln.Text)
+			}
+			var mt tsdb.MatchType
+			switch p.next().Type {
+			case ASSIGN:
+				mt = tsdb.MatchEqual
+			case NEQ:
+				mt = tsdb.MatchNotEqual
+			case EQLREGEX:
+				mt = tsdb.MatchRegexp
+			case NEQREGEX:
+				mt = tsdb.MatchNotRegexp
+			default:
+				p.backup()
+				return nil, p.errf("expected matcher operator after %q", ln.Text)
+			}
+			lv := p.next()
+			if lv.Type != STRING {
+				return nil, p.errf("expected quoted label value, got %q", lv.Text)
+			}
+			m, err := tsdb.NewMatcher(mt, ln.Text, lv.Text)
+			if err != nil {
+				return nil, &ParseError{Pos: lv.Pos, Msg: err.Error()}
+			}
+			vs.Matchers = append(vs.Matchers, m)
+			if p.peek().Type == COMMA {
+				p.next()
+			}
+		}
+		p.next() // consume }
+	}
+	if name == "" && len(vs.Matchers) == 0 {
+		return nil, p.errf("vector selector must name a metric or have matchers")
+	}
+	return vs, nil
+}
+
+func (p *parser) parseAggregate(op AggOp) (Expr, error) {
+	agg := &AggregateExpr{Op: op}
+	// Leading by/without clause form: sum by (l) (expr).
+	if pt := p.peek().Type; pt == BYKW || pt == WITHOUTKW {
+		agg.Without = pt == WITHOUTKW
+		p.next()
+		labels, err := p.parseLabelList()
+		if err != nil {
+			return nil, err
+		}
+		agg.Grouping = labels
+	}
+	if lp := p.next(); lp.Type != LPAREN {
+		return nil, p.errf("expected '(' in aggregation")
+	}
+	first, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if op.hasParam() {
+		if c := p.next(); c.Type != COMMA {
+			return nil, p.errf("%s expects a parameter and an expression", op)
+		}
+		agg.Param = first
+		agg.Expr, err = p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		agg.Expr = first
+	}
+	if rp := p.next(); rp.Type != RPAREN {
+		return nil, p.errf("expected ')' closing aggregation")
+	}
+	// Trailing by/without clause form: sum(expr) by (l).
+	if pt := p.peek().Type; (pt == BYKW || pt == WITHOUTKW) && agg.Grouping == nil && !agg.Without {
+		agg.Without = pt == WITHOUTKW
+		p.next()
+		labels, err := p.parseLabelList()
+		if err != nil {
+			return nil, err
+		}
+		agg.Grouping = labels
+	}
+	return agg, nil
+}
+
+func (p *parser) parseCall(fn *Function) (Expr, error) {
+	p.next() // consume (
+	call := &Call{Func: fn}
+	if p.peek().Type != RPAREN {
+		for {
+			arg, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			if p.peek().Type != COMMA {
+				break
+			}
+			p.next()
+		}
+	}
+	if rp := p.next(); rp.Type != RPAREN {
+		return nil, p.errf("expected ')' closing call to %s", fn.Name)
+	}
+	return call, nil
+}
+
+func (p *parser) parseLabelList() ([]string, error) {
+	if lp := p.next(); lp.Type != LPAREN {
+		return nil, p.errf("expected '(' starting label list")
+	}
+	var labels []string
+	for p.peek().Type != RPAREN {
+		t := p.next()
+		if t.Type != IDENT {
+			return nil, p.errf("expected label name, got %q", t.Text)
+		}
+		labels = append(labels, t.Text)
+		if p.peek().Type == COMMA {
+			p.next()
+		}
+	}
+	p.next() // consume )
+	return labels, nil
+}
+
+// checkTypes validates operand types throughout the tree.
+func checkTypes(e Expr) error {
+	var err error
+	Walk(e, func(n Expr) {
+		if err != nil {
+			return
+		}
+		switch x := n.(type) {
+		case *Call:
+			if len(x.Args) < len(x.Func.ArgTypes)-x.Func.OptionalArgs || len(x.Args) > len(x.Func.ArgTypes) {
+				err = fmt.Errorf("promql: %s expects %d argument(s), got %d", x.Func.Name, len(x.Func.ArgTypes), len(x.Args))
+				return
+			}
+			for i, a := range x.Args {
+				if a.Type() != x.Func.ArgTypes[i] {
+					err = fmt.Errorf("promql: argument %d of %s must be a %s, got %s", i+1, x.Func.Name, x.Func.ArgTypes[i], a.Type())
+					return
+				}
+			}
+		case *AggregateExpr:
+			if x.Expr.Type() != ValueVector {
+				err = fmt.Errorf("promql: %s expects an instant vector, got %s", x.Op, x.Expr.Type())
+				return
+			}
+			if x.Op.hasParam() {
+				want := ValueScalar
+				if x.Op == AggCountValues {
+					want = ValueString
+				}
+				if x.Param == nil || x.Param.Type() != want {
+					err = fmt.Errorf("promql: %s parameter must be a %s", x.Op, want)
+					return
+				}
+			}
+		case *BinaryExpr:
+			lt, rt := x.LHS.Type(), x.RHS.Type()
+			if lt == ValueMatrix || rt == ValueMatrix {
+				err = fmt.Errorf("promql: binary %s not defined on range vectors", x.Op)
+				return
+			}
+			if lt == ValueString || rt == ValueString {
+				err = fmt.Errorf("promql: binary %s not defined on strings", x.Op)
+				return
+			}
+			if x.Op.isSetOp() && (lt != ValueVector || rt != ValueVector) {
+				err = fmt.Errorf("promql: set operator %s requires vector operands", x.Op)
+				return
+			}
+			if x.Op.isComparison() && !x.ReturnBool && lt == ValueScalar && rt == ValueScalar {
+				err = fmt.Errorf("promql: comparison between scalars must use the bool modifier")
+				return
+			}
+		case *UnaryExpr:
+			if t := x.Expr.Type(); t != ValueScalar && t != ValueVector {
+				err = fmt.Errorf("promql: unary %s not defined on %s", x.Op, t)
+				return
+			}
+		}
+	})
+	return err
+}

@@ -1,0 +1,180 @@
+// Package sandbox executes model-generated PromQL in a confined
+// environment (§3.3: "the generated code is executed on the database in a
+// sandboxed environment"). The guard rails are the ones that matter for
+// untrusted generated code against a shared store: a hard wall-clock
+// timeout, a touched-samples budget, a series cardinality cap on results,
+// and rejection of unselective queries that would scan the whole database.
+package sandbox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dio/internal/promql"
+	"dio/internal/tsdb"
+)
+
+// Limits bounds one query execution.
+type Limits struct {
+	// Timeout caps wall-clock evaluation time.
+	Timeout time.Duration
+	// MaxSamples caps how many stored samples one query may touch.
+	MaxSamples int
+	// MaxResultSeries caps the result cardinality.
+	MaxResultSeries int
+	// MaxRange caps the widest matrix selector window.
+	MaxRange time.Duration
+	// RequireSelective rejects selectors with no metric name (which scan
+	// every series in the store).
+	RequireSelective bool
+}
+
+// DefaultLimits returns production-shaped limits.
+func DefaultLimits() Limits {
+	return Limits{
+		Timeout:          10 * time.Second,
+		MaxSamples:       5_000_000,
+		MaxResultSeries:  1_000,
+		MaxRange:         24 * time.Hour,
+		RequireSelective: true,
+	}
+}
+
+// Stats accumulates executor counters.
+type Stats struct {
+	Executed int
+	Rejected int
+	Failed   int
+}
+
+// Executor runs queries under Limits. It is safe for concurrent use except
+// for Stats reads racing writes (callers snapshot after runs).
+type Executor struct {
+	engine *promql.Engine
+	limits Limits
+	stats  Stats
+	audit  *AuditLog
+}
+
+// New returns an executor over db.
+func New(db *tsdb.DB, limits Limits) *Executor {
+	opts := promql.DefaultEngineOptions()
+	if limits.MaxSamples > 0 {
+		opts.MaxSamples = limits.MaxSamples
+	}
+	if limits.Timeout > 0 {
+		opts.Timeout = limits.Timeout
+	}
+	return &Executor{engine: promql.NewEngine(db, opts), limits: limits}
+}
+
+// Engine exposes the underlying engine (for dashboards' range queries).
+func (e *Executor) Engine() *promql.Engine { return e.engine }
+
+// SetAudit attaches an audit log; every subsequent query submission is
+// recorded (§5.4 safety).
+func (e *Executor) SetAudit(a *AuditLog) { e.audit = a }
+
+// Audit returns the attached audit log (nil when auditing is off).
+func (e *Executor) Audit() *AuditLog { return e.audit }
+
+// Stats returns a snapshot of the executor counters.
+func (e *Executor) Stats() Stats { return e.stats }
+
+// ErrRejected marks queries refused by static vetting before execution.
+var ErrRejected = errors.New("sandbox: query rejected")
+
+// Vet statically checks a parsed query against the limits.
+func (e *Executor) Vet(expr promql.Expr) error {
+	var err error
+	promql.Walk(expr, func(n promql.Expr) {
+		if err != nil {
+			return
+		}
+		switch x := n.(type) {
+		case *promql.VectorSelector:
+			if e.limits.RequireSelective && x.Name == "" {
+				named := false
+				for _, m := range x.Matchers {
+					if m.Name == tsdb.MetricNameLabel {
+						named = true
+					}
+				}
+				if !named {
+					err = fmt.Errorf("%w: selector without a metric name scans the entire store", ErrRejected)
+				}
+			}
+		case *promql.MatrixSelector:
+			if e.limits.MaxRange > 0 && x.Range > e.limits.MaxRange {
+				err = fmt.Errorf("%w: range %s exceeds the maximum %s", ErrRejected,
+					promql.FormatDuration(x.Range), promql.FormatDuration(e.limits.MaxRange))
+			}
+		}
+	})
+	return err
+}
+
+// Execute parses, vets and evaluates query at ts.
+func (e *Executor) Execute(ctx context.Context, query string, ts time.Time) (promql.Value, error) {
+	started := time.Now()
+	v, err := e.execute(ctx, query, ts)
+	switch {
+	case err == nil:
+		e.audit.record(query, OutcomeExecuted, nil, time.Since(started))
+	case errors.Is(err, ErrRejected):
+		e.audit.record(query, OutcomeRejected, err, time.Since(started))
+	default:
+		e.audit.record(query, OutcomeFailed, err, time.Since(started))
+	}
+	return v, err
+}
+
+func (e *Executor) execute(ctx context.Context, query string, ts time.Time) (promql.Value, error) {
+	expr, err := promql.Parse(query)
+	if err != nil {
+		e.stats.Failed++
+		return nil, err
+	}
+	if err := e.Vet(expr); err != nil {
+		e.stats.Rejected++
+		return nil, err
+	}
+	if e.limits.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.limits.Timeout)
+		defer cancel()
+	}
+	v, err := e.engine.Eval(ctx, expr, ts)
+	if err != nil {
+		e.stats.Failed++
+		return nil, err
+	}
+	if vec, ok := v.(promql.Vector); ok && e.limits.MaxResultSeries > 0 && len(vec) > e.limits.MaxResultSeries {
+		e.stats.Rejected++
+		return nil, fmt.Errorf("%w: result has %d series (limit %d)", ErrRejected, len(vec), e.limits.MaxResultSeries)
+	}
+	e.stats.Executed++
+	return v, nil
+}
+
+// ExecuteRange vets and evaluates a range query (dashboard panels).
+func (e *Executor) ExecuteRange(ctx context.Context, query string, start, end time.Time, step time.Duration) (promql.Matrix, error) {
+	expr, err := promql.Parse(query)
+	if err != nil {
+		e.stats.Failed++
+		return nil, err
+	}
+	if err := e.Vet(expr); err != nil {
+		e.stats.Rejected++
+		return nil, err
+	}
+	m, err := e.engine.QueryRange(ctx, query, start, end, step)
+	if err != nil {
+		e.stats.Failed++
+		return nil, err
+	}
+	e.stats.Executed++
+	return m, nil
+}

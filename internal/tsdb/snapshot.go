@@ -1,0 +1,120 @@
+package tsdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// snapshotSeries is the gob wire form of one series.
+type snapshotSeries struct {
+	Labels  []Label
+	Samples []Sample
+}
+
+// snapshotState is the gob wire form of the whole store.
+type snapshotState struct {
+	Series []snapshotSeries
+}
+
+// Snapshot serialises the entire store. The snapshot is deterministic
+// (series ordered by label key) so identical databases produce identical
+// bytes.
+func (db *DB) Snapshot(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.series))
+	for k := range db.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	st := snapshotState{Series: make([]snapshotSeries, 0, len(keys))}
+	for _, k := range keys {
+		s := db.series[k]
+		st.Series = append(st.Series, snapshotSeries{Labels: s.Labels, Samples: s.Samples})
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// LoadSnapshot restores a store saved with Snapshot.
+func LoadSnapshot(r io.Reader) (*DB, error) {
+	var st snapshotState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("tsdb: corrupt snapshot: %w", err)
+	}
+	db := New()
+	for _, s := range st.Series {
+		ls := Labels(s.Labels)
+		if ls.Name() == "" {
+			return nil, fmt.Errorf("tsdb: snapshot series without a metric name: %s", ls)
+		}
+		key := ls.Key()
+		if _, dup := db.series[key]; dup {
+			return nil, fmt.Errorf("tsdb: snapshot has duplicate series %s", ls)
+		}
+		prev := int64(-1 << 62)
+		for _, smp := range s.Samples {
+			if smp.T <= prev {
+				return nil, fmt.Errorf("tsdb: snapshot series %s has out-of-order samples", ls)
+			}
+			prev = smp.T
+		}
+		cp := &Series{Labels: ls, Samples: append([]Sample(nil), s.Samples...)}
+		db.series[key] = cp
+		db.byName[ls.Name()] = append(db.byName[ls.Name()], key)
+		if n := len(s.Samples); n > 0 {
+			if s.Samples[0].T < db.minT {
+				db.minT = s.Samples[0].T
+			}
+			if s.Samples[n-1].T > db.maxT {
+				db.maxT = s.Samples[n-1].T
+			}
+			db.samples += int64(n)
+		}
+	}
+	return db, nil
+}
+
+// Truncate drops every sample older than keepAfter (exclusive), enforcing
+// a retention horizon. Series left empty are removed entirely. It returns
+// the number of samples dropped.
+func (db *DB) Truncate(keepAfter int64) int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var dropped int64
+	newMin := int64(1<<63 - 1)
+	for key, s := range db.series {
+		i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= keepAfter })
+		if i > 0 {
+			dropped += int64(i)
+			s.Samples = append([]Sample(nil), s.Samples[i:]...)
+		}
+		if len(s.Samples) == 0 {
+			delete(db.series, key)
+			name := s.Labels.Name()
+			keys := db.byName[name]
+			for j, k := range keys {
+				if k == key {
+					db.byName[name] = append(keys[:j:j], keys[j+1:]...)
+					break
+				}
+			}
+			if len(db.byName[name]) == 0 {
+				delete(db.byName, name)
+			}
+			continue
+		}
+		if s.Samples[0].T < newMin {
+			newMin = s.Samples[0].T
+		}
+	}
+	db.samples -= dropped
+	if db.samples == 0 {
+		db.minT = 1<<63 - 1
+		db.maxT = -(1<<63 - 1)
+	} else {
+		db.minT = newMin
+	}
+	return dropped
+}

@@ -1,0 +1,253 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sample is one observation: a millisecond Unix timestamp and a value.
+type Sample struct {
+	T int64
+	V float64
+}
+
+// Series is a label set and its samples in ascending time order.
+type Series struct {
+	Labels  Labels
+	Samples []Sample
+}
+
+// lastBefore returns the newest sample with T <= t and at least t-lookback,
+// implementing Prometheus instant-lookup staleness semantics.
+func (s *Series) lastBefore(t, lookback int64) (Sample, bool) {
+	i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > t })
+	if i == 0 {
+		return Sample{}, false
+	}
+	smp := s.Samples[i-1]
+	if smp.T < t-lookback {
+		return Sample{}, false
+	}
+	return smp, true
+}
+
+// window returns the samples with start < T <= end (Prometheus range
+// selector semantics: left-open, right-closed).
+func (s *Series) window(start, end int64) []Sample {
+	lo := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > start })
+	hi := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > end })
+	return s.Samples[lo:hi]
+}
+
+// DB is an in-memory labelled time-series store. It is safe for concurrent
+// use. The zero value is not usable; call New.
+type DB struct {
+	mu sync.RWMutex
+	// series by fingerprint.
+	series map[string]*Series
+	// byName indexes series fingerprints by metric name for fast selector
+	// scans (every PromQL selector names a metric).
+	byName map[string][]string
+	// minT/maxT track the ingested time range.
+	minT, maxT int64
+	samples    int64
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{series: make(map[string]*Series), byName: make(map[string][]string), minT: 1<<63 - 1, maxT: -(1<<63 - 1)}
+}
+
+// ErrOutOfOrder is returned when appending a sample at or before the last
+// timestamp of its series.
+var ErrOutOfOrder = errors.New("tsdb: out-of-order sample")
+
+// Append adds one sample to the series identified by ls. Timestamps within
+// a series must be strictly increasing.
+func (db *DB) Append(ls Labels, t int64, v float64) error {
+	if ls.Name() == "" {
+		return fmt.Errorf("tsdb: series %s has no metric name", ls)
+	}
+	key := ls.Key()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[key]
+	if !ok {
+		s = &Series{Labels: ls}
+		db.series[key] = s
+		name := ls.Name()
+		db.byName[name] = append(db.byName[name], key)
+	}
+	if n := len(s.Samples); n > 0 && s.Samples[n-1].T >= t {
+		return fmt.Errorf("%w: series %s at t=%d (last %d)", ErrOutOfOrder, ls, t, s.Samples[n-1].T)
+	}
+	s.Samples = append(s.Samples, Sample{T: t, V: v})
+	if t < db.minT {
+		db.minT = t
+	}
+	if t > db.maxT {
+		db.maxT = t
+	}
+	db.samples++
+	return nil
+}
+
+// NumSeries returns the number of stored series.
+func (db *DB) NumSeries() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series)
+}
+
+// NumSamples returns the total number of stored samples.
+func (db *DB) NumSamples() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.samples
+}
+
+// TimeRange returns the min and max ingested timestamps; ok is false when
+// the database is empty.
+func (db *DB) TimeRange() (minT, maxT int64, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.samples == 0 {
+		return 0, 0, false
+	}
+	return db.minT, db.maxT, true
+}
+
+// MetricNames returns all distinct metric names, sorted.
+func (db *DB) MetricNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.byName))
+	for n := range db.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasMetric reports whether any series exists for the metric name.
+func (db *DB) HasMetric(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.byName[name]) > 0
+}
+
+// candidates returns the fingerprints to scan for the given matchers: the
+// per-name posting list when a __name__ equality matcher exists, else all
+// series. Callers must hold the read lock.
+func (db *DB) candidates(matchers []*Matcher) []string {
+	for _, m := range matchers {
+		if m.Name == MetricNameLabel && m.Type == MatchEqual {
+			return db.byName[m.Value]
+		}
+	}
+	keys := make([]string, 0, len(db.series))
+	for k := range db.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SeriesPoint is an instant-query result: a series' labels and the sample
+// chosen at the evaluation timestamp.
+type SeriesPoint struct {
+	Labels Labels
+	Sample Sample
+}
+
+// Select returns, for every series matching matchers, the newest sample at
+// or before t that is no older than lookback. Results are ordered by
+// label-set key for determinism.
+func (db *DB) Select(matchers []*Matcher, t, lookback int64) []SeriesPoint {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []SeriesPoint
+	for _, key := range db.candidates(matchers) {
+		s := db.series[key]
+		if !MatchLabels(s.Labels, matchers) {
+			continue
+		}
+		if smp, ok := s.lastBefore(t, lookback); ok {
+			out = append(out, SeriesPoint{Labels: s.Labels, Sample: smp})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels.Key() < out[j].Labels.Key() })
+	return out
+}
+
+// SeriesRange is a range-query result: a series' labels and its samples in
+// the window.
+type SeriesRange struct {
+	Labels  Labels
+	Samples []Sample
+}
+
+// SelectRange returns, for every series matching matchers, the samples in
+// (start, end]. Series with no samples in the window are omitted. Results
+// are ordered by label-set key.
+func (db *DB) SelectRange(matchers []*Matcher, start, end int64) []SeriesRange {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []SeriesRange
+	for _, key := range db.candidates(matchers) {
+		s := db.series[key]
+		if !MatchLabels(s.Labels, matchers) {
+			continue
+		}
+		w := s.window(start, end)
+		if len(w) == 0 {
+			continue
+		}
+		cp := make([]Sample, len(w))
+		copy(cp, w)
+		out = append(out, SeriesRange{Labels: s.Labels, Samples: cp})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels.Key() < out[j].Labels.Key() })
+	return out
+}
+
+// AllSeries returns a snapshot of every series (labels and copied
+// samples), ordered by label key. Intended for tests and export.
+func (db *DB) AllSeries() []SeriesRange {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]SeriesRange, 0, len(db.series))
+	keys := make([]string, 0, len(db.series))
+	for k := range db.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := db.series[k]
+		cp := make([]Sample, len(s.Samples))
+		copy(cp, s.Samples)
+		out = append(out, SeriesRange{Labels: s.Labels, Samples: cp})
+	}
+	return out
+}
+
+// LabelValues returns the sorted distinct values of a label name across
+// all series.
+func (db *DB) LabelValues(name string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, s := range db.series {
+		if v := s.Labels.Get(name); v != "" {
+			set[v] = true
+		}
+	}
+	vals := make([]string, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return vals
+}

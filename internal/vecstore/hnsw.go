@@ -1,0 +1,281 @@
+package vecstore
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dio/internal/embedding"
+)
+
+// HNSW is a hierarchical navigable small-world graph index — the
+// logarithmic-time approximate structure modern vector stores (and FAISS's
+// IndexHNSW) use. Unlike IVF it needs no offline Build: inserts maintain
+// the graph incrementally, which suits the feedback loop's live additions.
+type HNSW struct {
+	mu sync.RWMutex
+
+	m              int     // max links per node per layer (level 0 uses 2M)
+	efConstruction int     // candidate-list width during insert
+	efSearch       int     // candidate-list width during search
+	levelMult      float64 // level assignment multiplier
+
+	rng   *rand.Rand
+	entry int // entry-point node index (-1 when empty)
+	maxL  int // current top layer
+
+	ids   []string
+	vecs  []embedding.Vector
+	pos   map[string]int
+	level []int
+	// links[l][n] is the neighbour list of node n at layer l.
+	links [][][]int32
+	dim   int
+}
+
+// NewHNSW returns an empty graph index. m controls graph degree (16 is a
+// solid default); efSearch trades recall for speed at query time.
+func NewHNSW(dim, m, efConstruction, efSearch int, seed int64) *HNSW {
+	if m < 2 {
+		m = 2
+	}
+	if efConstruction < m {
+		efConstruction = m * 2
+	}
+	if efSearch < 1 {
+		efSearch = 16
+	}
+	return &HNSW{
+		m: m, efConstruction: efConstruction, efSearch: efSearch,
+		levelMult: 1 / math.Log(float64(m)),
+		rng:       rand.New(rand.NewSource(seed)),
+		entry:     -1,
+		pos:       make(map[string]int),
+		dim:       dim,
+	}
+}
+
+// Len returns the number of stored vectors.
+func (h *HNSW) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.ids)
+}
+
+// dist is the negative inner product: smaller is closer for unit vectors.
+func (h *HNSW) dist(a, b embedding.Vector) float64 { return -embedding.Dot(a, b) }
+
+// randomLevel draws a node's top layer with the standard exponential
+// distribution.
+func (h *HNSW) randomLevel() int {
+	return int(-math.Log(h.rng.Float64()+1e-12) * h.levelMult)
+}
+
+// Add inserts vec under id.
+func (h *HNSW) Add(id string, vec embedding.Vector) error {
+	if len(vec) != h.dim {
+		return fmt.Errorf("vecstore: vector dim %d does not match index dim %d", len(vec), h.dim)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.pos[id]; dup {
+		return fmt.Errorf("vecstore: duplicate id %q in HNSW index", id)
+	}
+	n := len(h.ids)
+	h.pos[id] = n
+	h.ids = append(h.ids, id)
+	h.vecs = append(h.vecs, embedding.Clone(vec))
+	lvl := h.randomLevel()
+	h.level = append(h.level, lvl)
+	for len(h.links) <= lvl {
+		h.links = append(h.links, nil)
+	}
+	for l := 0; l <= lvl; l++ {
+		for len(h.links[l]) <= n {
+			h.links[l] = append(h.links[l], nil)
+		}
+	}
+	// Layers above lvl still need node slots for indexing consistency.
+	for l := lvl + 1; l < len(h.links); l++ {
+		for len(h.links[l]) <= n {
+			h.links[l] = append(h.links[l], nil)
+		}
+	}
+
+	if h.entry < 0 {
+		h.entry = n
+		h.maxL = lvl
+		return nil
+	}
+
+	// Greedy descent from the top to lvl+1.
+	ep := h.entry
+	for l := h.maxL; l > lvl; l-- {
+		ep = h.greedyClosest(vec, ep, l)
+	}
+	// Insert with beam search from min(maxL, lvl) down to 0.
+	for l := min(h.maxL, lvl); l >= 0; l-- {
+		cands := h.searchLayer(vec, ep, h.efConstruction, l)
+		maxLinks := h.m
+		if l == 0 {
+			maxLinks = 2 * h.m
+		}
+		neighbours := cands
+		if len(neighbours) > maxLinks {
+			neighbours = neighbours[:maxLinks]
+		}
+		for _, nb := range neighbours {
+			h.links[l][n] = append(h.links[l][n], int32(nb.node))
+			h.links[l][nb.node] = append(h.links[l][nb.node], int32(n))
+			// Prune over-full neighbour lists, keeping the closest.
+			if len(h.links[l][nb.node]) > maxLinks {
+				h.prune(nb.node, l, maxLinks)
+			}
+		}
+		if len(cands) > 0 {
+			ep = cands[0].node
+		}
+	}
+	if lvl > h.maxL {
+		h.maxL = lvl
+		h.entry = n
+	}
+	return nil
+}
+
+// prune keeps only the maxLinks closest neighbours of node at layer l.
+func (h *HNSW) prune(node, l, maxLinks int) {
+	nbs := h.links[l][node]
+	sort.Slice(nbs, func(i, j int) bool {
+		return h.dist(h.vecs[node], h.vecs[nbs[i]]) < h.dist(h.vecs[node], h.vecs[nbs[j]])
+	})
+	h.links[l][node] = append([]int32(nil), nbs[:maxLinks]...)
+}
+
+// greedyClosest walks layer l greedily towards vec from ep.
+func (h *HNSW) greedyClosest(vec embedding.Vector, ep, l int) int {
+	cur := ep
+	curD := h.dist(vec, h.vecs[cur])
+	for {
+		improved := false
+		for _, nb := range h.links[l][cur] {
+			if d := h.dist(vec, h.vecs[nb]); d < curD {
+				cur, curD = int(nb), d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// scoredNode pairs a node with its distance to the query.
+type scoredNode struct {
+	node int
+	d    float64
+}
+
+// nodeHeap is a min-heap by distance (closest first).
+type nodeHeap []scoredNode
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(scoredNode)) }
+func (h *nodeHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// maxNodeHeap is a max-heap by distance (farthest first).
+type maxNodeHeap []scoredNode
+
+func (h maxNodeHeap) Len() int           { return len(h) }
+func (h maxNodeHeap) Less(i, j int) bool { return h[i].d > h[j].d }
+func (h maxNodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *maxNodeHeap) Push(x any)        { *h = append(*h, x.(scoredNode)) }
+func (h *maxNodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// searchLayer runs a beam search of width ef at layer l, returning up to
+// ef nodes sorted closest-first.
+func (h *HNSW) searchLayer(vec embedding.Vector, ep, ef, l int) []scoredNode {
+	visited := map[int]bool{ep: true}
+	start := scoredNode{ep, h.dist(vec, h.vecs[ep])}
+	candidates := nodeHeap{start} // to expand, closest first
+	results := maxNodeHeap{start} // best ef, farthest on top
+	heap.Init(&candidates)
+	heap.Init(&results)
+
+	for candidates.Len() > 0 {
+		c := heap.Pop(&candidates).(scoredNode)
+		if results.Len() >= ef && c.d > results[0].d {
+			break
+		}
+		for _, nb := range h.links[l][c.node] {
+			if visited[int(nb)] {
+				continue
+			}
+			visited[int(nb)] = true
+			d := h.dist(vec, h.vecs[nb])
+			if results.Len() < ef || d < results[0].d {
+				heap.Push(&candidates, scoredNode{int(nb), d})
+				heap.Push(&results, scoredNode{int(nb), d})
+				if results.Len() > ef {
+					heap.Pop(&results)
+				}
+			}
+		}
+	}
+	out := make([]scoredNode, results.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&results).(scoredNode)
+	}
+	return out
+}
+
+// Search returns up to k nearest stored vectors, best first.
+func (h *HNSW) Search(query embedding.Vector, k int) []Result {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if k <= 0 || h.entry < 0 {
+		return nil
+	}
+	ep := h.entry
+	for l := h.maxL; l > 0; l-- {
+		ep = h.greedyClosest(query, ep, l)
+	}
+	ef := h.efSearch
+	if ef < k {
+		ef = k
+	}
+	cands := h.searchLayer(query, ep, ef, 0)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, Result{ID: h.ids[c.node], Score: -c.d})
+	}
+	// Deterministic tie ordering, matching the other indexes.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package vecstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestHNSWBasics(t *testing.T) {
+	dim := 16
+	vecs := randomVectors(300, dim, 21)
+	h := NewHNSW(dim, 16, 64, 48, 9)
+	for i, v := range vecs {
+		if err := h.Add(fmt.Sprintf("v%d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 300 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	// Exact self-lookup.
+	res := h.Search(vecs[42], 1)
+	if len(res) != 1 || res[0].ID != "v42" {
+		t.Fatalf("self lookup = %+v", res)
+	}
+	if res[0].Score < 0.999 {
+		t.Errorf("self score = %g", res[0].Score)
+	}
+}
+
+func TestHNSWRecall(t *testing.T) {
+	dim := 24
+	vecs := randomVectors(800, dim, 22)
+	h := NewHNSW(dim, 16, 128, 96, 10)
+	exact := NewFlat(dim)
+	for i, v := range vecs {
+		id := fmt.Sprintf("v%d", i)
+		if err := h.Add(id, v); err != nil {
+			t.Fatal(err)
+		}
+		must(t, exact.Add(id, v))
+	}
+	queries := randomVectors(40, dim, 23)
+	r := Recall(exact, h, queries, 10)
+	if r < 0.85 {
+		t.Errorf("HNSW recall@10 = %g, want ≥ 0.85", r)
+	}
+}
+
+func TestHNSWEdgeCases(t *testing.T) {
+	h := NewHNSW(4, 8, 16, 16, 1)
+	if res := h.Search(randomVectors(1, 4, 2)[0], 5); res != nil {
+		t.Errorf("empty index search = %v", res)
+	}
+	v := randomVectors(2, 4, 3)
+	must(t, h.Add("a", v[0]))
+	if err := h.Add("a", v[1]); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := h.Add("b", randomVectors(1, 8, 4)[0]); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if res := h.Search(v[0], 0); res != nil {
+		t.Errorf("k=0 search = %v", res)
+	}
+	// Single-node index works.
+	if res := h.Search(v[0], 3); len(res) != 1 || res[0].ID != "a" {
+		t.Fatalf("single node search = %+v", res)
+	}
+}
+
+func TestHNSWDeterministic(t *testing.T) {
+	dim := 8
+	vecs := randomVectors(100, dim, 30)
+	build := func() *HNSW {
+		h := NewHNSW(dim, 8, 32, 32, 7)
+		for i, v := range vecs {
+			must(t, h.Add(fmt.Sprintf("v%d", i), v))
+		}
+		return h
+	}
+	a, b := build(), build()
+	q := randomVectors(1, dim, 31)[0]
+	ra, rb := a.Search(q, 10), b.Search(q, 10)
+	if len(ra) != len(rb) {
+		t.Fatalf("result sizes differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("results differ at %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestHNSWImplementsIndex(t *testing.T) {
+	var _ Index = NewHNSW(4, 8, 16, 16, 1)
+	var _ Index = NewFlat(4)
+	var _ Index = NewIVF(4, 2, 1, 1)
+}

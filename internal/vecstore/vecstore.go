@@ -1,0 +1,150 @@
+// Package vecstore provides vector similarity indexes standing in for the
+// FAISS library used by the paper (§4): an exact Flat index and an
+// approximate IVF (inverted-file, k-means coarse quantiser) index. Both
+// store unit-norm embeddings and return top-k results by cosine
+// similarity (inner product on normalised vectors).
+package vecstore
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"dio/internal/embedding"
+)
+
+// Result is one search hit.
+type Result struct {
+	// ID is the caller-supplied identifier of the stored vector.
+	ID string
+	// Score is the cosine similarity to the query, higher is closer.
+	Score float64
+}
+
+// Index is the common contract of vector indexes.
+type Index interface {
+	// Add stores vec under id. Adding an existing id replaces the vector.
+	Add(id string, vec embedding.Vector) error
+	// Search returns up to k nearest entries by cosine similarity,
+	// best first.
+	Search(query embedding.Vector, k int) []Result
+	// Len returns the number of stored vectors.
+	Len() int
+}
+
+// Flat is an exact brute-force index. It is safe for concurrent use.
+type Flat struct {
+	mu   sync.RWMutex
+	dim  int
+	ids  []string
+	vecs []embedding.Vector
+	pos  map[string]int
+}
+
+// NewFlat returns an empty exact index for dim-dimensional vectors.
+func NewFlat(dim int) *Flat {
+	return &Flat{dim: dim, pos: make(map[string]int)}
+}
+
+// Dim returns the index dimensionality.
+func (f *Flat) Dim() int { return f.dim }
+
+// Add stores vec under id, replacing any previous vector with that id.
+func (f *Flat) Add(id string, vec embedding.Vector) error {
+	if len(vec) != f.dim {
+		return fmt.Errorf("vecstore: vector dim %d does not match index dim %d", len(vec), f.dim)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if i, ok := f.pos[id]; ok {
+		f.vecs[i] = embedding.Clone(vec)
+		return nil
+	}
+	f.pos[id] = len(f.ids)
+	f.ids = append(f.ids, id)
+	f.vecs = append(f.vecs, embedding.Clone(vec))
+	return nil
+}
+
+// Len returns the number of stored vectors.
+func (f *Flat) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.ids)
+}
+
+// Get returns the stored vector for id, if present.
+func (f *Flat) Get(id string) (embedding.Vector, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	i, ok := f.pos[id]
+	if !ok {
+		return nil, false
+	}
+	return embedding.Clone(f.vecs[i]), true
+}
+
+// Search returns the k nearest stored vectors to query, best first. Ties
+// break by id for determinism.
+func (f *Flat) Search(query embedding.Vector, k int) []Result {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return bruteForce(query, f.ids, f.vecs, k)
+}
+
+// bruteForce scores every candidate and keeps the top k via a partial
+// selection. Ties break by id so results are deterministic.
+func bruteForce(query embedding.Vector, ids []string, vecs []embedding.Vector, k int) []Result {
+	if k <= 0 || len(ids) == 0 {
+		return nil
+	}
+	res := make([]Result, 0, len(ids))
+	for i, v := range vecs {
+		res = append(res, Result{ID: ids[i], Score: embedding.Dot(query, v)})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Score != res[j].Score {
+			return res[i].Score > res[j].Score
+		}
+		return res[i].ID < res[j].ID
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+// flatState is the gob wire form of a Flat index.
+type flatState struct {
+	Dim  int
+	IDs  []string
+	Vecs []embedding.Vector
+}
+
+// Save serialises the index.
+func (f *Flat) Save(w io.Writer) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(flatState{Dim: f.dim, IDs: f.ids, Vecs: f.vecs})
+}
+
+// LoadFlat deserialises an index saved with Save.
+func LoadFlat(r io.Reader) (*Flat, error) {
+	var st flatState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, err
+	}
+	if len(st.IDs) != len(st.Vecs) {
+		return nil, errors.New("vecstore: corrupt flat index state")
+	}
+	f := NewFlat(st.Dim)
+	f.ids = st.IDs
+	f.vecs = st.Vecs
+	for i, id := range st.IDs {
+		f.pos[id] = i
+	}
+	return f, nil
+}
