@@ -1,0 +1,16 @@
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify runs the merge gate: vet + full suite under the race detector.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .

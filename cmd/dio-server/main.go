@@ -14,6 +14,7 @@
 //	GET  /api/v1/feedback
 //	POST /api/v1/feedback                 {"question": "..."}
 //	POST /api/v1/feedback/{id}/resolve    {"expert": "...", ...}
+//	GET  /metrics
 //	GET  /healthz
 package main
 
@@ -35,6 +36,7 @@ import (
 	"dio/internal/fivegsim"
 	"dio/internal/httpapi"
 	"dio/internal/llm"
+	"dio/internal/obs"
 	"dio/internal/tsdb"
 )
 
@@ -45,6 +47,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	experts := flag.String("experts", "r.nakamura,a.kimura,m.okafor,s.ivanova", "comma-separated pre-identified experts")
 	stateDir := flag.String("state", "", "directory for persistent state (TSDB snapshot, feedback issues); empty disables persistence")
+	selfScrape := flag.Bool("selfscrape", true, "append the server's own dio_* metrics into the TSDB so the copilot can answer questions about itself")
+	scrapeInterval := flag.Duration("selfscrape-interval", 15*time.Second, "self-scrape period")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "dio-server: ", log.LstdFlags)
@@ -86,11 +90,19 @@ func main() {
 		}
 	}
 
+	// Self-observability: register the dio_* metrics in the catalog before
+	// the copilot trains its retriever, so questions about the copilot
+	// itself resolve like any operator question.
+	reg := obs.NewRegistry()
+	if n := cat.AddSelfMetrics(); n > 0 {
+		logger.Printf("registered %d dio_* self-metrics in the catalog", n)
+	}
+
 	model, err := llm.New(*modelName)
 	if err != nil {
 		logger.Fatalf("model: %v", err)
 	}
-	cp, err := core.New(core.Config{Catalog: cat, TSDB: db, Model: model})
+	cp, err := core.New(core.Config{Catalog: cat, TSDB: db, Model: model, Metrics: reg})
 	if err != nil {
 		logger.Fatalf("copilot: %v", err)
 	}
@@ -110,11 +122,23 @@ func main() {
 		}
 	}
 	feedback.WireCopilot(tracker, cp)
+	tracker.Instrument(reg)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(cp, tracker, logger),
+		Handler:           httpapi.New(cp, tracker, logger, httpapi.WithMetrics(reg)),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Self-scrape loop: dogfood the registry into the operator TSDB under
+	// job="dio" so /api/v1/ask and /api/v1/query can answer questions
+	// about the copilot's own behaviour.
+	scrapeCtx, stopScrape := context.WithCancel(context.Background())
+	defer stopScrape()
+	if *selfScrape {
+		scraper := obs.NewSelfScraper(reg, db, *scrapeInterval, logger)
+		go scraper.Run(scrapeCtx)
+		logger.Printf("self-scraping dio_* metrics every %s", *scrapeInterval)
 	}
 
 	// Graceful shutdown on SIGINT/SIGTERM.
@@ -124,6 +148,7 @@ func main() {
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		<-sig
 		logger.Print("shutting down…")
+		stopScrape()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

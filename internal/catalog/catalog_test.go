@@ -212,3 +212,36 @@ func TestStatsString(t *testing.T) {
 		}
 	}
 }
+
+func TestSelfMetrics(t *testing.T) {
+	db := Generate()
+	before := len(db.Metrics)
+	added := db.AddSelfMetrics()
+	if added == 0 || len(db.Metrics) != before+added {
+		t.Fatalf("AddSelfMetrics added %d entries (catalog %d -> %d)", added, before, len(db.Metrics))
+	}
+	for _, name := range []string{
+		"dio_ask_total", "dio_ask_duration_seconds_bucket",
+		"dio_ask_duration_seconds_sum", "dio_ask_duration_seconds_count",
+		"dio_http_requests_total", "dio_feedback_issues",
+	} {
+		m, ok := db.Lookup(name)
+		if !ok {
+			t.Errorf("self-metric %s not registered", name)
+			continue
+		}
+		if m.NF != "dio" {
+			t.Errorf("%s: NF = %q, want dio", name, m.NF)
+		}
+		if m.Description == "" {
+			t.Errorf("%s: empty description", name)
+		}
+	}
+	if m, _ := db.Lookup("dio_ask_duration_seconds_bucket"); m != nil && m.Type != HistogramBucket {
+		t.Errorf("bucket series has type %v, want HistogramBucket", m.Type)
+	}
+	// Idempotent: a second call adds nothing.
+	if again := db.AddSelfMetrics(); again != 0 {
+		t.Errorf("second AddSelfMetrics added %d entries, want 0", again)
+	}
+}

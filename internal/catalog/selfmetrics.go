@@ -1,0 +1,122 @@
+package catalog
+
+// This file registers the copilot's own dio_* self-observability metrics
+// in the domain-specific database, so the ask pipeline can answer
+// questions about itself ("what is the p95 ask latency over the last
+// hour?") the same way it answers questions about the 5G core: the
+// retriever indexes these documentation entries, the model selects the
+// metric, and the sandbox evaluates the query against the self-scraped
+// series in the operator store.
+
+// selfMetricDef is the compact table row a SelfMetrics entry expands from.
+type selfMetricDef struct {
+	name   string
+	typ    MetricType
+	unit   string
+	labels []string
+	desc   string
+	// histogram marks families that the self-scraper stores as the three
+	// Prometheus series (_bucket, _sum, _count).
+	histogram bool
+}
+
+var selfMetricDefs = []selfMetricDef{
+	// Ask pipeline (internal/core).
+	{name: "dio_ask_total", typ: Counter, labels: []string{"outcome"},
+		desc: "The number of /api/v1/ask pipeline runs handled by the DIO copilot, partitioned by outcome (ok, error, exec_error)."},
+	{name: "dio_ask_duration_seconds", unit: "seconds", histogram: true,
+		desc: "End-to-end latency of DIO copilot ask pipeline runs, from question receipt to dashboard assembly."},
+	{name: "dio_stage_duration_seconds", unit: "seconds", labels: []string{"stage"}, histogram: true,
+		desc: "Per-stage latency of the DIO ask pipeline, partitioned by stage (retrieve, prompt-build, llm, sandbox-exec, dashboard)."},
+	{name: "dio_llm_calls_total", typ: Counter, labels: []string{"kind"},
+		desc: "The number of foundation-model completions issued by the DIO copilot, partitioned by request kind (select_metrics, generate_query)."},
+	{name: "dio_llm_prompt_tokens_total", typ: Counter, unit: "tokens",
+		desc: "Cumulative prompt tokens sent to the foundation model by the DIO copilot."},
+	{name: "dio_llm_completion_tokens_total", typ: Counter, unit: "tokens",
+		desc: "Cumulative completion tokens returned by the foundation model to the DIO copilot."},
+	{name: "dio_llm_cost_cents_total", typ: Counter, unit: "cents",
+		desc: "Cumulative estimated foundation-model spend of the DIO copilot, in cents."},
+
+	// Sandbox and query engine (internal/sandbox, internal/promql).
+	{name: "dio_sandbox_queries_total", typ: Counter, labels: []string{"outcome"},
+		desc: "The number of model-generated PromQL queries submitted to the DIO sandbox, partitioned by outcome (executed, rejected, failed)."},
+	{name: "dio_sandbox_exec_duration_seconds", unit: "seconds", histogram: true,
+		desc: "Wall-clock latency of sandboxed PromQL query execution in the DIO copilot."},
+	{name: "dio_sandbox_timeouts_total", typ: Counter,
+		desc: "The number of sandboxed DIO queries that hit the wall-clock timeout."},
+	{name: "dio_promql_queue_wait_seconds", unit: "seconds", histogram: true,
+		desc: "Time DIO queries spent waiting for a PromQL engine concurrency slot before evaluating."},
+	{name: "dio_promql_samples_loaded", histogram: true,
+		desc: "Stored samples touched per DIO PromQL query evaluation."},
+
+	// HTTP API (internal/httpapi).
+	{name: "dio_http_requests_total", typ: Counter, labels: []string{"route", "code"},
+		desc: "The number of HTTP requests served by the DIO API, partitioned by route pattern and status code."},
+	{name: "dio_http_request_duration_seconds", unit: "seconds", labels: []string{"route"}, histogram: true,
+		desc: "Latency of HTTP requests served by the DIO API, partitioned by route pattern."},
+
+	// Feedback loop (internal/feedback).
+	{name: "dio_feedback_issues", typ: Gauge, labels: []string{"state"},
+		desc: "The number of expert feedback issues tracked by the DIO copilot, partitioned by lifecycle state (open, resolved, closed)."},
+	{name: "dio_feedback_proposals", typ: Gauge,
+		desc: "The number of community contribution proposals recorded by the DIO feedback tracker."},
+
+	// Self-scrape loop (internal/obs).
+	{name: "dio_selfscrape_scrapes_total", typ: Counter,
+		desc: "The number of self-scrape passes the DIO copilot has run over its own metrics registry."},
+	{name: "dio_selfscrape_samples_total", typ: Counter,
+		desc: "Cumulative samples the DIO self-scrape loop has appended into the operator time-series store."},
+	{name: "dio_selfscrape_errors_total", typ: Counter,
+		desc: "The number of samples the DIO self-scrape loop failed to append into the operator time-series store."},
+}
+
+// SelfMetrics returns the catalog entries for the copilot's dio_* metrics.
+// Histogram families expand into the three stored Prometheus series
+// (_bucket, _sum, _count), matching what the self-scraper appends.
+func SelfMetrics() []*Metric {
+	var out []*Metric
+	for _, d := range selfMetricDefs {
+		if !d.histogram {
+			out = append(out, &Metric{
+				Name: d.name, NF: "dio", Service: "self", Type: d.typ,
+				Unit: d.unit, Labels: append([]string{"job"}, d.labels...),
+				Description: d.desc + " Self-observability metric exported by the DIO copilot itself.",
+			})
+			continue
+		}
+		out = append(out,
+			&Metric{
+				Name: d.name + "_bucket", NF: "dio", Service: "self", Type: HistogramBucket,
+				Unit: d.unit, Labels: append([]string{"job", "le"}, d.labels...),
+				Description: d.desc + " Cumulative histogram bucket counter; use histogram_quantile over its rate for percentiles. Self-observability metric exported by the DIO copilot itself.",
+			},
+			&Metric{
+				Name: d.name + "_sum", NF: "dio", Service: "self", Type: HistogramSum,
+				Unit: d.unit, Labels: append([]string{"job"}, d.labels...),
+				Description: d.desc + " Histogram sum counter. Self-observability metric exported by the DIO copilot itself.",
+			},
+			&Metric{
+				Name: d.name + "_count", NF: "dio", Service: "self", Type: HistogramCount,
+				Labels: append([]string{"job"}, d.labels...),
+				Description: d.desc + " Histogram count counter. Self-observability metric exported by the DIO copilot itself.",
+			},
+		)
+	}
+	return out
+}
+
+// AddSelfMetrics registers the dio_* self-metrics in the database (no-op
+// for names already present). Call before building the retriever index so
+// self-observability questions resolve like any operator question.
+func (db *Database) AddSelfMetrics() int {
+	added := 0
+	for _, m := range SelfMetrics() {
+		if _, ok := db.byName[m.Name]; ok {
+			continue
+		}
+		db.Metrics = append(db.Metrics, m)
+		db.byName[m.Name] = m
+		added++
+	}
+	return added
+}

@@ -17,6 +17,7 @@ import (
 	"dio/internal/catalog"
 	"dio/internal/dashboard"
 	"dio/internal/llm"
+	"dio/internal/obs"
 	"dio/internal/promql"
 	"dio/internal/sandbox"
 	"dio/internal/tsdb"
@@ -87,6 +88,37 @@ type Copilot struct {
 	exec      *sandbox.Executor
 	fewshot   []llm.Example
 	opts      Options
+	metrics   *pipelineMetrics
+}
+
+// pipelineMetrics holds the copilot's self-observability instruments
+// (nil when the copilot is built without a registry).
+type pipelineMetrics struct {
+	tracer    *obs.Tracer
+	askDur    *obs.Histogram  // dio_ask_duration_seconds
+	asks      *obs.CounterVec // dio_ask_total{outcome}
+	promptTok *obs.Counter    // dio_llm_prompt_tokens_total
+	complTok  *obs.Counter    // dio_llm_completion_tokens_total
+	costCents *obs.Counter    // dio_llm_cost_cents_total
+	llmCalls  *obs.CounterVec // dio_llm_calls_total{kind}
+}
+
+func newPipelineMetrics(reg *obs.Registry) *pipelineMetrics {
+	return &pipelineMetrics{
+		tracer: obs.NewTracer(reg, nil),
+		askDur: reg.Histogram("dio_ask_duration_seconds",
+			"End-to-end latency of one copilot question.", "seconds", obs.DefBuckets()),
+		asks: reg.CounterVec("dio_ask_total",
+			"Questions answered, by outcome (ok, exec_error, error).", "", "outcome"),
+		promptTok: reg.Counter("dio_llm_prompt_tokens_total",
+			"Prompt tokens sent to the foundation model.", ""),
+		complTok: reg.Counter("dio_llm_completion_tokens_total",
+			"Completion tokens returned by the foundation model.", ""),
+		costCents: reg.Counter("dio_llm_cost_cents_total",
+			"Accumulated foundation-model spend in cents.", ""),
+		llmCalls: reg.CounterVec("dio_llm_calls_total",
+			"Foundation-model invocations, by request kind.", "", "kind"),
+	}
 }
 
 // Config assembles a Copilot.
@@ -100,6 +132,10 @@ type Config struct {
 	Retriever *Retriever
 	// Limits overrides the sandbox limits.
 	Limits *sandbox.Limits
+	// Metrics, when set, instruments the pipeline (stage spans, ask
+	// latency, token accounting) and the sandboxed executor on the
+	// registry. Nil disables self-observability.
+	Metrics *obs.Registry
 }
 
 // New builds the pipeline: trains/indexes the context extractor over the
@@ -128,14 +164,19 @@ func New(cfg Config) (*Copilot, error) {
 	if opts.FewShot < len(few) {
 		few = few[:opts.FewShot]
 	}
-	return &Copilot{
+	cp := &Copilot{
 		db:        cfg.Catalog,
 		retriever: r,
 		model:     cfg.Model,
 		exec:      sandbox.New(cfg.TSDB, limits),
 		fewshot:   few,
 		opts:      opts,
-	}, nil
+	}
+	if cfg.Metrics != nil {
+		cp.metrics = newPipelineMetrics(cfg.Metrics)
+		cp.exec.Instrument(cfg.Metrics)
+	}
+	return cp, nil
 }
 
 // Model returns the underlying foundation model.
@@ -161,6 +202,29 @@ func (c *Copilot) evalTime() time.Time {
 	return time.Unix(0, 0)
 }
 
+// evalTimeFor resolves the evaluation instant for a query over the given
+// metrics: the newest sample among them. The store mixes timelines once
+// self-scraping is on (the operator trace is frozen while dio_* series
+// are live), so "now" must follow the data actually being asked about;
+// the store-wide newest sample remains the fallback.
+func (c *Copilot) evalTimeFor(metrics []string) time.Time {
+	if !c.opts.EvalTime.IsZero() {
+		return c.opts.EvalTime
+	}
+	db := c.exec.Engine().DB()
+	var newest int64
+	found := false
+	for _, name := range metrics {
+		if _, maxT, ok := db.MetricTimeRange(name); ok && (!found || maxT > newest) {
+			newest, found = maxT, true
+		}
+	}
+	if found {
+		return time.UnixMilli(newest)
+	}
+	return c.evalTime()
+}
+
 // promptBudget returns the token budget left for context after reserving
 // completion space.
 func (c *Copilot) promptBudget() int {
@@ -169,13 +233,36 @@ func (c *Copilot) promptBudget() int {
 
 // Ask runs the full pipeline for one question.
 func (c *Copilot) Ask(ctx context.Context, question string) (*Answer, error) {
+	if c.metrics == nil {
+		return c.ask(ctx, question)
+	}
+	ctx = obs.WithTracer(ctx, c.metrics.tracer)
+	start := time.Now()
+	a, err := c.ask(ctx, question)
+	c.metrics.askDur.Observe(time.Since(start).Seconds())
+	outcome := "ok"
+	switch {
+	case err != nil:
+		outcome = "error"
+	case a.ExecErr != nil:
+		outcome = "exec_error"
+	}
+	c.metrics.asks.With(outcome).Inc()
+	return a, err
+}
+
+// ask is the uninstrumented pipeline; the stage spans inside are no-ops
+// unless Ask put a tracer on the context.
+func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 	if strings.TrimSpace(question) == "" {
 		return nil, fmt.Errorf("core: empty question")
 	}
 	a := &Answer{Question: question}
 
 	// 1. Context extraction: top-K semantically closest text samples.
+	ctx, sp := obs.StartSpan(ctx, "retrieve")
 	a.Context = c.retriever.Retrieve(question, c.opts.TopK)
+	sp.End()
 
 	builder := &llm.Builder{
 		System:      "You are a data analytics assistant for 5G operator metrics. Identify the relevant metrics and produce a PromQL query answering the question.",
@@ -186,21 +273,26 @@ func (c *Copilot) Ask(ctx context.Context, question string) (*Answer, error) {
 	// Descriptions are clipped to their leading tokens in the prompt —
 	// enough to disambiguate, while keeping per-query token cost near the
 	// paper's (§4.2.5).
+	ctx, sp = obs.StartSpan(ctx, "prompt-build")
 	clipped := make([]llm.ContextDoc, len(a.Context))
 	for i, d := range a.Context {
 		clipped[i] = llm.ContextDoc{ID: d.ID, Text: llm.TruncateToTokens(d.Text, 24)}
 	}
 	selPrompt := builder.Build(clipped, nil, question)
+	sp.End()
+	ctx, sp = obs.StartSpan(ctx, "llm")
 	selResp, err := c.model.Complete(llm.Request{
 		Kind: llm.KindSelectMetrics, Prompt: selPrompt, Temperature: c.opts.Temperature,
 	})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: metric selection: %w", err)
 	}
-	c.accumulate(a, selResp)
+	c.accumulate(a, selResp, "select_metrics")
 	a.Task = selResp.Task
 
 	// 3. Few-shot code generation over the selected metrics.
+	ctx, sp = obs.StartSpan(ctx, "prompt-build")
 	selDocs := make([]llm.ContextDoc, 0, len(selResp.Metrics))
 	for _, name := range selResp.Metrics {
 		if d, ok := c.retriever.Doc(name); ok {
@@ -210,15 +302,18 @@ func (c *Copilot) Ask(ctx context.Context, question string) (*Answer, error) {
 		}
 	}
 	genPrompt := builder.Build(selDocs, c.fewshot, question)
+	sp.End()
+	ctx, sp = obs.StartSpan(ctx, "llm")
 	genResp, err := c.model.Complete(llm.Request{
 		Kind: llm.KindGenerateQuery, Prompt: genPrompt,
 		Metrics: selResp.Metrics, Task: selResp.Task,
 		Temperature: c.opts.Temperature,
 	})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: code generation: %w", err)
 	}
-	c.accumulate(a, genResp)
+	c.accumulate(a, genResp, "generate_query")
 	a.Query = genResp.Query
 	if a.Task == llm.TaskUnknown {
 		a.Task = genResp.Task
@@ -239,7 +334,9 @@ func (c *Copilot) Ask(ctx context.Context, question string) (*Answer, error) {
 		a.ExecErr = fmt.Errorf("core: the model produced no query")
 		a.ValueText = selResp.Text
 	} else {
-		v, execErr := c.exec.Execute(ctx, a.Query, c.evalTime())
+		ctx, sp = obs.StartSpan(ctx, "sandbox-exec")
+		v, execErr := c.exec.Execute(ctx, a.Query, c.evalTimeFor(genResp.Metrics))
+		sp.End()
 		if execErr != nil {
 			a.ExecErr = execErr
 			a.ValueText = "execution failed: " + execErr.Error()
@@ -271,16 +368,25 @@ func (c *Copilot) Ask(ctx context.Context, question string) (*Answer, error) {
 		}
 	}
 	if len(known) > 0 {
+		_, sp = obs.StartSpan(ctx, "dashboard")
 		a.Dashboard = dashboard.ForMetrics("DIO: "+question, known)
+		sp.End()
 	}
 	return a, nil
 }
 
-// accumulate folds one model response's usage into the answer.
-func (c *Copilot) accumulate(a *Answer, r llm.Response) {
+// accumulate folds one model response's usage into the answer and the
+// self-metrics.
+func (c *Copilot) accumulate(a *Answer, r llm.Response, kind string) {
 	a.Usage.PromptTokens += r.Usage.PromptTokens
 	a.Usage.CompletionTokens += r.Usage.CompletionTokens
 	a.CostCents += r.CostCents
+	if c.metrics != nil {
+		c.metrics.promptTok.Add(float64(r.Usage.PromptTokens))
+		c.metrics.complTok.Add(float64(r.Usage.CompletionTokens))
+		c.metrics.costCents.Add(r.CostCents)
+		c.metrics.llmCalls.With(kind).Inc()
+	}
 }
 
 // RenderAnswer formats an answer for terminal display (the Figure 1b

@@ -1,0 +1,34 @@
+package feedback
+
+import "dio/internal/obs"
+
+// Counts returns how many issues are in each lifecycle state.
+func (t *Tracker) Counts() (open, resolved, closed int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, is := range t.issues {
+		switch is.State {
+		case Open:
+			open++
+		case Resolved:
+			resolved++
+		case Closed:
+			closed++
+		}
+	}
+	return open, resolved, closed
+}
+
+// Instrument registers the tracker's self-metrics on reg: issue gauges per
+// state and the community-proposal count, evaluated at gather time so they
+// always reflect the live tracker.
+func (t *Tracker) Instrument(reg *obs.Registry) {
+	issues := reg.GaugeVec("dio_feedback_issues",
+		"Expert feedback issues by lifecycle state.", "", "state")
+	issues.Func(func() float64 { open, _, _ := t.Counts(); return float64(open) }, "open")
+	issues.Func(func() float64 { _, resolved, _ := t.Counts(); return float64(resolved) }, "resolved")
+	issues.Func(func() float64 { _, _, closed := t.Counts(); return float64(closed) }, "closed")
+	reg.GaugeFunc("dio_feedback_proposals",
+		"Community contribution proposals recorded (all issues).", "",
+		func() float64 { return float64(len(t.Proposals(-1))) })
+}

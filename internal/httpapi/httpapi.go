@@ -16,6 +16,7 @@ import (
 	"dio/internal/core"
 	"dio/internal/dashboard"
 	"dio/internal/feedback"
+	"dio/internal/obs"
 	"dio/internal/promql"
 	"dio/internal/sandbox"
 )
@@ -27,10 +28,32 @@ type Server struct {
 	tracker *feedback.Tracker
 	logger  *log.Logger
 	mux     *http.ServeMux
+
+	// registry is the self-observability registry served at GET /metrics
+	// (nil when observability is off).
+	registry *obs.Registry
+	requests *obs.CounterVec   // dio_http_requests_total{route,code}
+	duration *obs.HistogramVec // dio_http_request_duration_seconds{route}
+}
+
+// Option configures optional server features.
+type Option func(*Server)
+
+// WithMetrics attaches the self-observability registry: GET /metrics
+// serves its Prometheus exposition and every request is counted and timed
+// per route.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) {
+		s.registry = reg
+		s.requests = reg.CounterVec("dio_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "", "route", "code")
+		s.duration = reg.HistogramVec("dio_http_request_duration_seconds",
+			"HTTP request latency by route pattern.", "seconds", obs.DefBuckets(), "route")
+	}
 }
 
 // New assembles the server. logger may be nil to disable request logs.
-func New(cp *core.Copilot, tracker *feedback.Tracker, logger *log.Logger) *Server {
+func New(cp *core.Copilot, tracker *feedback.Tracker, logger *log.Logger, opts ...Option) *Server {
 	s := &Server{copilot: cp, tracker: tracker, logger: logger, mux: http.NewServeMux()}
 	// Audit every query the service executes (§5.4 safety).
 	if cp.Executor().Audit() == nil {
@@ -38,6 +61,7 @@ func New(cp *core.Copilot, tracker *feedback.Tracker, logger *log.Logger) *Serve
 	}
 	s.mux.HandleFunc("GET /api/v1/audit", s.handleAudit)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleExposition)
 	s.mux.HandleFunc("POST /api/v1/ask", s.handleAsk)
 	s.mux.HandleFunc("GET /api/v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /api/v1/query_range", s.handleQueryRange)
@@ -48,15 +72,58 @@ func New(cp *core.Copilot, tracker *feedback.Tracker, logger *log.Logger) *Serve
 	s.mux.HandleFunc("POST /api/v1/feedback/{id}/propose", s.handleProposalOpen)
 	s.mux.HandleFunc("GET /api/v1/proposals", s.handleProposalList)
 	s.mux.HandleFunc("POST /api/v1/proposals/{id}/vote", s.handleProposalVote)
+	for _, opt := range opts {
+		opt(s)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// statusWriter captures the status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler: it routes through the mux wrapped in
+// the status/duration middleware, logs the completed request, and counts
+// it per route pattern.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.logger != nil {
-		s.logger.Printf("%s %s", r.Method, r.URL.Path)
+	// Resolve the route pattern before serving so metrics label by the
+	// registered pattern ("POST /api/v1/ask"), not the raw (unbounded-
+	// cardinality) URL path.
+	_, route := s.mux.Handler(r)
+	if route == "" {
+		route = "unmatched"
 	}
-	s.mux.ServeHTTP(w, r)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	started := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(started)
+	if s.logger != nil {
+		s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, elapsed.Round(time.Millisecond))
+	}
+	if s.requests != nil {
+		s.requests.With(route, strconv.Itoa(sw.status)).Inc()
+		s.duration.With(route).Observe(elapsed.Seconds())
+	}
+}
+
+// handleExposition serves the Prometheus text exposition of the attached
+// registry.
+func (s *Server) handleExposition(w http.ResponseWriter, _ *http.Request) {
+	if s.registry == nil {
+		s.writeErr(w, http.StatusNotImplemented, errors.New("self-observability is not enabled"))
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	if err := s.registry.FormatText(w); err != nil && s.logger != nil {
+		s.logger.Printf("metrics exposition: %v", err)
+	}
 }
 
 // apiError is the JSON error envelope.
@@ -65,21 +132,24 @@ type apiError struct {
 	Error  string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes v as the response body. The status is already on the
+// wire if encoding fails, so the error can only be surfaced in the server
+// log — but it must be surfaced, not discarded: a marshalling bug would
+// otherwise produce silently truncated responses.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil && code < 500 {
-		// Too late to change the status; nothing sensible to do.
-		_ = err
+	if err := json.NewEncoder(w).Encode(v); err != nil && s.logger != nil {
+		s.logger.Printf("writeJSON: encoding %T response failed: %v", v, err)
 	}
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, apiError{Status: "error", Error: err.Error()})
+func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, apiError{Status: "error", Error: err.Error()})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // askRequest is the POST /api/v1/ask body.
@@ -108,16 +178,16 @@ type askMetric struct {
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	var req askRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if strings.TrimSpace(req.Question) == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("question is required"))
+		s.writeErr(w, http.StatusBadRequest, errors.New("question is required"))
 		return
 	}
 	ans, err := s.copilot.Ask(r.Context(), req.Question)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	resp := askResponse{
@@ -131,7 +201,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	for _, m := range ans.Metrics {
 		resp.Metrics = append(resp.Metrics, askMetric{Name: m.Name, Description: m.Description})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // queryData is the Prometheus-style result envelope.
@@ -186,15 +256,44 @@ func (s *Server) latest() time.Time {
 	return time.Unix(0, 0)
 }
 
+// defaultEvalTime resolves the default evaluation instant for query: the
+// newest sample among the metrics it selects, falling back to the
+// store-wide newest sample. The store mixes timelines once self-scraping
+// is on (the operator trace is frozen while dio_* series advance at wall
+// clock), so "now" must follow the data actually being queried. Parse
+// errors fall through to the sandbox, which reports them properly.
+func (s *Server) defaultEvalTime(query string) time.Time {
+	expr, err := promql.Parse(query)
+	if err != nil {
+		return s.latest()
+	}
+	db := s.copilot.Executor().Engine().DB()
+	var newest int64
+	found := false
+	promql.Walk(expr, func(n promql.Expr) {
+		vs, ok := n.(*promql.VectorSelector)
+		if !ok || vs.Name == "" {
+			return
+		}
+		if _, maxT, ok := db.MetricTimeRange(vs.Name); ok && (!found || maxT > newest) {
+			newest, found = maxT, true
+		}
+	})
+	if found {
+		return time.UnixMilli(newest)
+	}
+	return s.latest()
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("query")
 	if q == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("query parameter is required"))
+		s.writeErr(w, http.StatusBadRequest, errors.New("query parameter is required"))
 		return
 	}
-	ts, err := parseTime(r.URL.Query().Get("time"), s.latest())
+	ts, err := parseTime(r.URL.Query().Get("time"), s.defaultEvalTime(q))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad time: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad time: %w", err))
 		return
 	}
 	v, err := s.copilot.Executor().Execute(r.Context(), q, ts)
@@ -203,7 +302,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, sandbox.ErrRejected) {
 			code = http.StatusForbidden
 		}
-		writeErr(w, code, err)
+		s.writeErr(w, code, err)
 		return
 	}
 	var resp queryData
@@ -222,45 +321,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Data.ResultType = "string"
 		resp.Data.Result = promql.FormatValue(v)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 	qv := r.URL.Query()
 	q := qv.Get("query")
 	if q == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("query parameter is required"))
+		s.writeErr(w, http.StatusBadRequest, errors.New("query parameter is required"))
 		return
 	}
-	end, err := parseTime(qv.Get("end"), s.latest())
+	end, err := parseTime(qv.Get("end"), s.defaultEvalTime(q))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad end: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad end: %w", err))
 		return
 	}
 	start, err := parseTime(qv.Get("start"), end.Add(-time.Hour))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad start: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad start: %w", err))
 		return
 	}
 	step := time.Minute
 	if sv := qv.Get("step"); sv != "" {
 		d, err := promql.ParseDuration(sv)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad step: %w", err))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad step: %w", err))
 			return
 		}
 		step = d
 	}
 	m, err := s.copilot.Executor().ExecuteRange(r.Context(), q, start, end, step)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		s.writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	var resp queryData
 	resp.Status = "success"
 	resp.Data.ResultType = "matrix"
 	resp.Data.Result = wireMatrix(m)
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // metricInfo is the catalog search result row.
@@ -290,15 +389,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "success", "metrics": out})
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "success", "metrics": out})
 }
 
 func (s *Server) handleFeedbackList(w http.ResponseWriter, _ *http.Request) {
 	if s.tracker == nil {
-		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		s.writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "success", "issues": s.tracker.List(-1)})
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "success", "issues": s.tracker.List(-1)})
 }
 
 // feedbackOpenRequest is the POST /api/v1/feedback body: re-ask the
@@ -310,21 +409,21 @@ type feedbackOpenRequest struct {
 
 func (s *Server) handleFeedbackOpen(w http.ResponseWriter, r *http.Request) {
 	if s.tracker == nil {
-		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		s.writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
 		return
 	}
 	var req feedbackOpenRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Question) == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("question is required"))
+		s.writeErr(w, http.StatusBadRequest, errors.New("question is required"))
 		return
 	}
 	ans, err := s.copilot.Ask(r.Context(), req.Question)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	issue := feedback.OpenFromAnswer(s.tracker, ans)
-	writeJSON(w, http.StatusCreated, map[string]any{"status": "success", "issue": issue})
+	s.writeJSON(w, http.StatusCreated, map[string]any{"status": "success", "issue": issue})
 }
 
 // resolveRequest is the POST /api/v1/feedback/{id}/resolve body.
@@ -339,17 +438,17 @@ type resolveRequest struct {
 
 func (s *Server) handleFeedbackResolve(w http.ResponseWriter, r *http.Request) {
 	if s.tracker == nil {
-		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		s.writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
 		return
 	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad issue id: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad issue id: %w", err))
 		return
 	}
 	var req resolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	err = s.tracker.Resolve(id, req.Expert, feedback.Contribution{
@@ -359,14 +458,14 @@ func (s *Server) handleFeedbackResolve(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case errors.Is(err, feedback.ErrUnknownIssue):
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 	case errors.Is(err, feedback.ErrNotExpert):
-		writeErr(w, http.StatusForbidden, err)
+		s.writeErr(w, http.StatusForbidden, err)
 	case err != nil:
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 	default:
 		issue, _ := s.tracker.Get(id)
-		writeJSON(w, http.StatusOK, map[string]any{"status": "success", "issue": issue})
+		s.writeJSON(w, http.StatusOK, map[string]any{"status": "success", "issue": issue})
 	}
 }
 
@@ -384,17 +483,17 @@ type proposeRequest struct {
 
 func (s *Server) handleProposalOpen(w http.ResponseWriter, r *http.Request) {
 	if s.tracker == nil {
-		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		s.writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
 		return
 	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad issue id: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad issue id: %w", err))
 		return
 	}
 	var req proposeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	p, err := s.tracker.Propose(id, req.Author, feedback.Contribution{
@@ -404,29 +503,29 @@ func (s *Server) handleProposalOpen(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case errors.Is(err, feedback.ErrUnknownIssue):
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 	case err != nil:
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 	default:
-		writeJSON(w, http.StatusCreated, map[string]any{"status": "success", "proposal": p})
+		s.writeJSON(w, http.StatusCreated, map[string]any{"status": "success", "proposal": p})
 	}
 }
 
 func (s *Server) handleProposalList(w http.ResponseWriter, r *http.Request) {
 	if s.tracker == nil {
-		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		s.writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
 		return
 	}
 	issueID := -1
 	if v := r.URL.Query().Get("issue"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad issue filter: %w", err))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad issue filter: %w", err))
 			return
 		}
 		issueID = n
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "success", "proposals": s.tracker.Proposals(issueID)})
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "success", "proposals": s.tracker.Proposals(issueID)})
 }
 
 // voteRequest is the POST /api/v1/proposals/{id}/vote body.
@@ -437,29 +536,29 @@ type voteRequest struct {
 
 func (s *Server) handleProposalVote(w http.ResponseWriter, r *http.Request) {
 	if s.tracker == nil {
-		writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
+		s.writeErr(w, http.StatusNotImplemented, errors.New("feedback is not enabled"))
 		return
 	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad proposal id: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad proposal id: %w", err))
 		return
 	}
 	var req voteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	err = s.tracker.Vote(id, req.Expert, req.Up)
 	switch {
 	case errors.Is(err, feedback.ErrUnknownProposal):
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 	case errors.Is(err, feedback.ErrNotExpert), errors.Is(err, feedback.ErrSelfVote):
-		writeErr(w, http.StatusForbidden, err)
+		s.writeErr(w, http.StatusForbidden, err)
 	case err != nil:
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{"status": "success"})
+		s.writeJSON(w, http.StatusOK, map[string]any{"status": "success"})
 	}
 }
 
@@ -467,8 +566,8 @@ func (s *Server) handleProposalVote(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAudit(w http.ResponseWriter, _ *http.Request) {
 	a := s.copilot.Executor().Audit()
 	if a == nil {
-		writeErr(w, http.StatusNotImplemented, errors.New("auditing is not enabled"))
+		s.writeErr(w, http.StatusNotImplemented, errors.New("auditing is not enabled"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "success", "entries": a.Entries()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "success", "entries": a.Entries()})
 }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format, for HTTP handlers serving FormatText output.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// FormatText writes the registry contents in the Prometheus text
+// exposition format (# HELP / # TYPE comments, one sample per line,
+// histograms as cumulative _bucket/_sum/_count series).
+func (r *Registry) FormatText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(fam.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.Kind.String())
+		bw.WriteByte('\n')
+		for _, s := range fam.Samples {
+			bw.WriteString(fam.Name)
+			bw.WriteString(s.Suffix)
+			writeLabels(bw, s.Labels)
+			bw.WriteByte(' ')
+			bw.WriteString(formatSampleValue(s.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func writeLabels(bw *bufio.Writer, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Name)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabelValue(l.Value))
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline, per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatBound renders a histogram le bound.
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// formatSampleValue renders a sample value.
+func formatSampleValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

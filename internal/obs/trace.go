@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Tracer records per-stage latencies of the ask pipeline into a
+// dio_stage_duration_seconds{stage} histogram. The zero tracer and nil
+// spans are no-ops, so instrumented code never has to branch on whether
+// observability is enabled.
+type Tracer struct {
+	stages *HistogramVec
+	clock  func() time.Time
+}
+
+// NewTracer registers the stage-duration histogram on reg. A nil clock
+// uses time.Now.
+func NewTracer(reg *Registry, clock func() time.Time) *Tracer {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Tracer{
+		stages: reg.HistogramVec("dio_stage_duration_seconds",
+			"Latency of each ask-pipeline stage (retrieve, prompt-build, llm, sandbox-exec, dashboard).",
+			"seconds", DefBuckets(), "stage"),
+		clock: clock,
+	}
+}
+
+type tracerKey struct{}
+
+// WithTracer returns a context carrying the tracer; StartSpan picks it up.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// Span is one in-flight stage measurement.
+type Span struct {
+	t     *Tracer
+	stage string
+	start time.Time
+}
+
+// StartSpan begins measuring the named stage. When the context carries no
+// tracer it returns a nil span, whose End is a no-op.
+func StartSpan(ctx context.Context, stage string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	return ctx, &Span{t: t, stage: stage, start: t.clock()}
+}
+
+// End records the stage duration. Safe on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.stages.With(s.stage).Observe(s.t.clock().Sub(s.start).Seconds())
+}

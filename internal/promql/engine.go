@@ -24,18 +24,35 @@ type EngineOptions struct {
 	// Timeout aborts long evaluations; zero means no engine-level timeout
 	// (context cancellation still applies).
 	Timeout time.Duration
+	// MaxConcurrent caps queries evaluating at once; excess queries wait
+	// in a semaphore queue (and fail if their context is cancelled while
+	// queued). Zero means unlimited.
+	MaxConcurrent int
 }
 
 // DefaultEngineOptions mirrors Prometheus defaults.
 func DefaultEngineOptions() EngineOptions {
-	return EngineOptions{LookbackDelta: 5 * time.Minute, MaxSamples: 50_000_000, Timeout: 2 * time.Minute}
+	return EngineOptions{LookbackDelta: 5 * time.Minute, MaxSamples: 50_000_000, Timeout: 2 * time.Minute, MaxConcurrent: 20}
 }
 
-// Engine evaluates parsed expressions against a tsdb.DB. It is stateless
-// and safe for concurrent use.
+// Hooks observe engine behaviour without coupling evaluation to any
+// metrics implementation (package obs supplies the histograms).
+type Hooks struct {
+	// QueueWait receives how long each gated query waited for a
+	// concurrency slot (only called when MaxConcurrent > 0).
+	QueueWait func(time.Duration)
+	// OnSamples receives the number of stored samples each top-level
+	// evaluation touched.
+	OnSamples func(int)
+}
+
+// Engine evaluates parsed expressions against a tsdb.DB. It is safe for
+// concurrent use.
 type Engine struct {
-	db   *tsdb.DB
-	opts EngineOptions
+	db    *tsdb.DB
+	opts  EngineOptions
+	gate  chan struct{}
+	hooks Hooks
 }
 
 // NewEngine returns an engine over db.
@@ -43,11 +60,47 @@ func NewEngine(db *tsdb.DB, opts EngineOptions) *Engine {
 	if opts.LookbackDelta <= 0 {
 		opts.LookbackDelta = 5 * time.Minute
 	}
-	return &Engine{db: db, opts: opts}
+	e := &Engine{db: db, opts: opts}
+	if opts.MaxConcurrent > 0 {
+		e.gate = make(chan struct{}, opts.MaxConcurrent)
+	}
+	return e
 }
+
+// SetHooks installs observation hooks. Call before the engine serves
+// concurrent queries.
+func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
 
 // DB returns the engine's backing store.
 func (e *Engine) DB() *tsdb.DB { return e.db }
+
+// enter acquires a concurrency slot, reporting the queue wait. It returns
+// immediately when the engine is ungated.
+func (e *Engine) enter(ctx context.Context) error {
+	if e.gate == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	start := time.Now()
+	select {
+	case e.gate <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if e.hooks.QueueWait != nil {
+		e.hooks.QueueWait(time.Since(start))
+	}
+	return nil
+}
+
+// exit releases the concurrency slot taken by enter.
+func (e *Engine) exit() {
+	if e.gate != nil {
+		<-e.gate
+	}
+}
 
 // ErrTooManySamples is returned when a query exceeds MaxSamples.
 var ErrTooManySamples = errors.New("promql: query touches too many samples")
@@ -77,15 +130,31 @@ func (e *Engine) Query(ctx context.Context, input string, ts time.Time) (Value, 
 	return e.Eval(ctx, expr, ts)
 }
 
-// Eval evaluates expr at the instant ts.
+// Eval evaluates expr at the instant ts, waiting for a concurrency slot
+// when the engine is gated.
 func (e *Engine) Eval(ctx context.Context, expr Expr, ts time.Time) (Value, error) {
+	if err := e.enter(ctx); err != nil {
+		return nil, err
+	}
+	defer e.exit()
+	return e.evalInstant(ctx, expr, ts)
+}
+
+// evalInstant evaluates one instant without touching the gate; the public
+// entry points hold a slot across it (QueryRange holds one slot for its
+// whole step loop, so a gated engine cannot deadlock against itself).
+func (e *Engine) evalInstant(ctx context.Context, expr Expr, ts time.Time) (Value, error) {
 	if e.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
 		defer cancel()
 	}
 	ev := &evaluator{ctx: ctx, eng: e, ts: ts.UnixMilli()}
-	return ev.eval(expr)
+	v, err := ev.eval(expr)
+	if e.hooks.OnSamples != nil {
+		e.hooks.OnSamples(ev.samples)
+	}
+	return v, err
 }
 
 // QueryRange evaluates input at every step in [start, end], producing a
@@ -101,10 +170,14 @@ func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.T
 	if end.Before(start) {
 		return nil, fmt.Errorf("promql: range end precedes start")
 	}
+	if err := e.enter(ctx); err != nil {
+		return nil, err
+	}
+	defer e.exit()
 	acc := make(map[string]*MSeries)
 	var order []string
 	for t := start; !t.After(end); t = t.Add(step) {
-		v, err := e.Eval(ctx, expr, t)
+		v, err := e.evalInstant(ctx, expr, t)
 		if err != nil {
 			return nil, err
 		}

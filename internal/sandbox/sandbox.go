@@ -10,8 +10,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"dio/internal/obs"
 	"dio/internal/promql"
 	"dio/internal/tsdb"
 )
@@ -29,6 +31,9 @@ type Limits struct {
 	// RequireSelective rejects selectors with no metric name (which scan
 	// every series in the store).
 	RequireSelective bool
+	// MaxConcurrent caps queries evaluating at once (the engine gate);
+	// zero uses the engine default.
+	MaxConcurrent int
 }
 
 // DefaultLimits returns production-shaped limits.
@@ -49,13 +54,22 @@ type Stats struct {
 	Failed   int
 }
 
-// Executor runs queries under Limits. It is safe for concurrent use except
-// for Stats reads racing writes (callers snapshot after runs).
+// Executor runs queries under Limits. It is safe for concurrent use.
 type Executor struct {
-	engine *promql.Engine
-	limits Limits
-	stats  Stats
-	audit  *AuditLog
+	engine   *promql.Engine
+	limits   Limits
+	executed atomic.Int64
+	rejected atomic.Int64
+	failed   atomic.Int64
+	audit    *AuditLog
+	metrics  *executorMetrics
+}
+
+// executorMetrics holds the obs instruments attached by Instrument.
+type executorMetrics struct {
+	queries  *obs.CounterVec // dio_sandbox_queries_total{outcome}
+	duration *obs.Histogram  // dio_sandbox_exec_duration_seconds
+	timeouts *obs.Counter    // dio_sandbox_timeouts_total
 }
 
 // New returns an executor over db.
@@ -67,7 +81,44 @@ func New(db *tsdb.DB, limits Limits) *Executor {
 	if limits.Timeout > 0 {
 		opts.Timeout = limits.Timeout
 	}
+	if limits.MaxConcurrent > 0 {
+		opts.MaxConcurrent = limits.MaxConcurrent
+	}
 	return &Executor{engine: promql.NewEngine(db, opts), limits: limits}
+}
+
+// Instrument registers the executor's self-metrics on reg and wires the
+// engine hooks (queue wait, samples loaded). Call once, before serving.
+func (e *Executor) Instrument(reg *obs.Registry) {
+	e.metrics = &executorMetrics{
+		queries: reg.CounterVec("dio_sandbox_queries_total",
+			"Sandboxed query submissions by outcome (executed, rejected, failed).", "", "outcome"),
+		duration: reg.Histogram("dio_sandbox_exec_duration_seconds",
+			"Wall-clock latency of sandboxed query execution.", "seconds", obs.DefBuckets()),
+		timeouts: reg.Counter("dio_sandbox_timeouts_total",
+			"Sandboxed queries that hit the wall-clock timeout.", ""),
+	}
+	queueWait := reg.Histogram("dio_promql_queue_wait_seconds",
+		"Time queries spent waiting for an engine concurrency slot.", "seconds", obs.DefBuckets())
+	samples := reg.Histogram("dio_promql_samples_loaded",
+		"Stored samples touched per query evaluation.", "", obs.ExponentialBuckets(10, 10, 7))
+	e.engine.SetHooks(promql.Hooks{
+		QueueWait: func(d time.Duration) { queueWait.Observe(d.Seconds()) },
+		OnSamples: func(n int) { samples.Observe(float64(n)) },
+	})
+}
+
+// observe records one run on the attached instruments (no-op when the
+// executor is uninstrumented).
+func (e *Executor) observe(outcome Outcome, err error, d time.Duration) {
+	if e.metrics == nil {
+		return
+	}
+	e.metrics.queries.With(string(outcome)).Inc()
+	e.metrics.duration.Observe(d.Seconds())
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.metrics.timeouts.Inc()
+	}
 }
 
 // Engine exposes the underlying engine (for dashboards' range queries).
@@ -81,7 +132,13 @@ func (e *Executor) SetAudit(a *AuditLog) { e.audit = a }
 func (e *Executor) Audit() *AuditLog { return e.audit }
 
 // Stats returns a snapshot of the executor counters.
-func (e *Executor) Stats() Stats { return e.stats }
+func (e *Executor) Stats() Stats {
+	return Stats{
+		Executed: int(e.executed.Load()),
+		Rejected: int(e.rejected.Load()),
+		Failed:   int(e.failed.Load()),
+	}
+}
 
 // ErrRejected marks queries refused by static vetting before execution.
 var ErrRejected = errors.New("sandbox: query rejected")
@@ -116,29 +173,37 @@ func (e *Executor) Vet(expr promql.Expr) error {
 	return err
 }
 
+// outcomeOf classifies a run result for the audit log and the metrics.
+func outcomeOf(err error) Outcome {
+	switch {
+	case err == nil:
+		return OutcomeExecuted
+	case errors.Is(err, ErrRejected):
+		return OutcomeRejected
+	default:
+		return OutcomeFailed
+	}
+}
+
 // Execute parses, vets and evaluates query at ts.
 func (e *Executor) Execute(ctx context.Context, query string, ts time.Time) (promql.Value, error) {
 	started := time.Now()
 	v, err := e.execute(ctx, query, ts)
-	switch {
-	case err == nil:
-		e.audit.record(query, OutcomeExecuted, nil, time.Since(started))
-	case errors.Is(err, ErrRejected):
-		e.audit.record(query, OutcomeRejected, err, time.Since(started))
-	default:
-		e.audit.record(query, OutcomeFailed, err, time.Since(started))
-	}
+	d := time.Since(started)
+	outcome := outcomeOf(err)
+	e.audit.record(query, outcome, err, d)
+	e.observe(outcome, err, d)
 	return v, err
 }
 
 func (e *Executor) execute(ctx context.Context, query string, ts time.Time) (promql.Value, error) {
 	expr, err := promql.Parse(query)
 	if err != nil {
-		e.stats.Failed++
+		e.failed.Add(1)
 		return nil, err
 	}
 	if err := e.Vet(expr); err != nil {
-		e.stats.Rejected++
+		e.rejected.Add(1)
 		return nil, err
 	}
 	if e.limits.Timeout > 0 {
@@ -148,33 +213,40 @@ func (e *Executor) execute(ctx context.Context, query string, ts time.Time) (pro
 	}
 	v, err := e.engine.Eval(ctx, expr, ts)
 	if err != nil {
-		e.stats.Failed++
+		e.failed.Add(1)
 		return nil, err
 	}
 	if vec, ok := v.(promql.Vector); ok && e.limits.MaxResultSeries > 0 && len(vec) > e.limits.MaxResultSeries {
-		e.stats.Rejected++
+		e.rejected.Add(1)
 		return nil, fmt.Errorf("%w: result has %d series (limit %d)", ErrRejected, len(vec), e.limits.MaxResultSeries)
 	}
-	e.stats.Executed++
+	e.executed.Add(1)
 	return v, nil
 }
 
 // ExecuteRange vets and evaluates a range query (dashboard panels).
 func (e *Executor) ExecuteRange(ctx context.Context, query string, start, end time.Time, step time.Duration) (promql.Matrix, error) {
+	started := time.Now()
+	m, err := e.executeRange(ctx, query, start, end, step)
+	e.observe(outcomeOf(err), err, time.Since(started))
+	return m, err
+}
+
+func (e *Executor) executeRange(ctx context.Context, query string, start, end time.Time, step time.Duration) (promql.Matrix, error) {
 	expr, err := promql.Parse(query)
 	if err != nil {
-		e.stats.Failed++
+		e.failed.Add(1)
 		return nil, err
 	}
 	if err := e.Vet(expr); err != nil {
-		e.stats.Rejected++
+		e.rejected.Add(1)
 		return nil, err
 	}
 	m, err := e.engine.QueryRange(ctx, query, start, end, step)
 	if err != nil {
-		e.stats.Failed++
+		e.failed.Add(1)
 		return nil, err
 	}
-	e.stats.Executed++
+	e.executed.Add(1)
 	return m, nil
 }

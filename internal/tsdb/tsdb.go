@@ -119,6 +119,34 @@ func (db *DB) TimeRange() (minT, maxT int64, ok bool) {
 	return db.minT, db.maxT, true
 }
 
+// MetricTimeRange returns the min and max sample timestamps across the
+// series of one metric name; ok is false when the metric has no samples.
+// It lets callers pick a default evaluation instant per metric, so stores
+// mixing timelines (a frozen operator trace plus live dio_* self-scrapes)
+// resolve "now" to the newest data of the metric actually queried.
+func (db *DB) MetricTimeRange(name string) (minT, maxT int64, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	minT, maxT = 1<<63-1, -(1<<63 - 1)
+	for _, key := range db.byName[name] {
+		s := db.series[key]
+		if len(s.Samples) == 0 {
+			continue
+		}
+		if t := s.Samples[0].T; t < minT {
+			minT = t
+		}
+		if t := s.Samples[len(s.Samples)-1].T; t > maxT {
+			maxT = t
+		}
+		ok = true
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return minT, maxT, true
+}
+
 // MetricNames returns all distinct metric names, sorted.
 func (db *DB) MetricNames() []string {
 	db.mu.RLock()

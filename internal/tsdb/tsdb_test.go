@@ -275,3 +275,31 @@ func TestAllSeriesSnapshot(t *testing.T) {
 		t.Fatal("AllSeries leaked internal storage")
 	}
 }
+
+func TestMetricTimeRange(t *testing.T) {
+	db := New()
+	app := func(name, inst string, ts ...int64) {
+		for _, x := range ts {
+			if err := db.Append(FromMap(map[string]string{MetricNameLabel: name, "instance": inst}), x, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	app("op_metric", "a", 100, 200)
+	app("op_metric", "b", 150, 250)
+	app("dio_ask_total", "a", 900, 1000)
+
+	if minT, maxT, ok := db.MetricTimeRange("op_metric"); !ok || minT != 100 || maxT != 250 {
+		t.Errorf("op_metric range = %d..%d ok=%v, want 100..250", minT, maxT, ok)
+	}
+	if _, maxT, ok := db.MetricTimeRange("dio_ask_total"); !ok || maxT != 1000 {
+		t.Errorf("dio_ask_total maxT = %d ok=%v, want 1000", maxT, ok)
+	}
+	if _, _, ok := db.MetricTimeRange("absent"); ok {
+		t.Error("absent metric reported a time range")
+	}
+	// The store-wide range spans both timelines.
+	if minT, maxT, ok := db.TimeRange(); !ok || minT != 100 || maxT != 1000 {
+		t.Errorf("TimeRange = %d..%d ok=%v", minT, maxT, ok)
+	}
+}

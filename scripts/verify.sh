@@ -1,0 +1,13 @@
+#!/bin/sh
+# verify.sh — the checks a change must pass before merging:
+# static vetting plus the full test suite under the race detector.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
