@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench
+.PHONY: build test verify bench bench-paper
 
 build:
 	$(GO) build ./...
@@ -9,8 +9,16 @@ test:
 	$(GO) test ./...
 
 # verify runs the merge gate: vet + full suite under the race detector.
+# Set VERIFY_BENCH=1 to also run the substrate micro-benchmarks.
 verify:
 	sh scripts/verify.sh
 
+# bench runs the substrate micro-benchmarks (query engine, storage,
+# dashboard rendering) with allocation reporting.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkQueryRange|BenchmarkSelect$$|BenchmarkDashboardRender|BenchmarkTSDBAppend|BenchmarkPromQL' -benchmem -benchtime=20x .
+
+# bench-paper regenerates the paper's evaluation tables alongside
+# performance numbers (every benchmark, one iteration each).
+bench-paper:
 	$(GO) test -bench=. -benchtime=1x .

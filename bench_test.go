@@ -25,6 +25,7 @@ import (
 	"dio/internal/benchmark"
 	"dio/internal/catalog"
 	"dio/internal/core"
+	"dio/internal/dashboard"
 	"dio/internal/embedding"
 	"dio/internal/fivegsim"
 	"dio/internal/llm"
@@ -375,5 +376,122 @@ func BenchmarkVecstoreHNSWSearch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Search(q, 29)
+	}
+}
+
+// --- Select-once range evaluation benches (PR 2) -----------------------------
+
+// rangeBenchDB builds the ~100-series × 200-step workload of the range
+// evaluation benchmarks: one counter metric across 100 instances, sampled
+// every 15s for 200 minutes.
+func rangeBenchDB(b *testing.B) (*tsdb.DB, time.Time, time.Time) {
+	b.Helper()
+	db := tsdb.New()
+	base := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	const (
+		instances = 100
+		minutes   = 200
+	)
+	for inst := 0; inst < instances; inst++ {
+		ls := tsdb.FromMap(map[string]string{
+			"__name__": "bench_requests_total",
+			"instance": fmt.Sprintf("i%02d", inst),
+			"nf":       "amf",
+		})
+		for s := 0; s <= minutes*4; s++ { // 15s scrapes
+			t := base.Add(time.Duration(s) * 15 * time.Second)
+			if err := db.Append(ls, t.UnixMilli(), float64(s*(inst+1))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return db, base, base.Add(minutes * time.Minute)
+}
+
+// BenchmarkQueryRange compares select-once cursor evaluation against the
+// legacy stepwise path (full storage selection per step) on 195-step range
+// queries over 100 series: a plain selector (the gauge-panel shape) and a
+// rate aggregation (the counter-panel shape).
+func BenchmarkQueryRange(b *testing.B) {
+	db, start, end := rangeBenchDB(b)
+	queries := []struct{ name, q string }{
+		{"selector", "bench_requests_total"},
+		{"rate", "sum by (nf) (rate(bench_requests_total[5m]))"},
+	}
+	for _, query := range queries {
+		for _, mode := range []struct {
+			name     string
+			stepwise bool
+		}{{"select-once", false}, {"stepwise", true}} {
+			b.Run(query.name+"/"+mode.name, func(b *testing.B) {
+				opts := promql.DefaultEngineOptions()
+				opts.StepwiseRange = mode.stepwise
+				eng := promql.NewEngine(db, opts)
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.QueryRange(ctx, query.q, start.Add(5*time.Minute), end, time.Minute); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSelect compares one-shot instant selection (copying points)
+// against the batched zero-copy SelectSeries fetch, using a label-only
+// matcher — the case that used to allocate and sort every store key.
+func BenchmarkSelect(b *testing.B) {
+	db, _, end := rangeBenchDB(b)
+	m, err := tsdb.NewMatcher(tsdb.MatchEqual, "nf", "amf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	matchers := []*tsdb.Matcher{m}
+	ts := end.UnixMilli()
+	b.Run("Select", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pts := db.Select(matchers, ts, 300_000); len(pts) != 100 {
+				b.Fatalf("selected %d series", len(pts))
+			}
+		}
+	})
+	b.Run("SelectSeries", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if views := db.SelectSeries(matchers); len(views) != 100 {
+				b.Fatalf("selected %d series", len(views))
+			}
+		}
+	})
+}
+
+// BenchmarkDashboardRender compares serial and parallel panel evaluation
+// over an 8-panel dashboard on the range-bench store.
+func BenchmarkDashboardRender(b *testing.B) {
+	db, _, end := rangeBenchDB(b)
+	ex := sandbox.New(db, sandbox.DefaultLimits())
+	d := &dashboard.Dashboard{Title: "bench"}
+	for p := 0; p < 8; p++ {
+		d.Panels = append(d.Panels, dashboard.Panel{
+			Title: fmt.Sprintf("p%d", p),
+			Query: fmt.Sprintf(`sum(rate(bench_requests_total{instance=~"i%d.*"}[5m]))`, p),
+			Kind:  dashboard.KindTimeSeries,
+		})
+	}
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			r := dashboard.NewRenderer(ex, mode.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Render(ctx, d, end, 30*time.Minute, time.Minute, 40); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

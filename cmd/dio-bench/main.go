@@ -8,6 +8,8 @@
 //	dio-bench -experiment setup     §4        (setup checks: catalog, config)
 //	dio-bench -experiment ablations extensions (context-size, few-shot,
 //	                                retrieval index, feedback learning curve)
+//	dio-bench -experiment engine    range-evaluation perf: select-once vs
+//	                                stepwise, serial vs parallel dashboards
 //	dio-bench -experiment all       everything above
 package main
 
@@ -18,21 +20,25 @@ import (
 	"log"
 	"os"
 	"sort"
+	"testing"
 	"time"
 
 	"dio/internal/baselines"
 	"dio/internal/benchmark"
 	"dio/internal/catalog"
 	"dio/internal/core"
+	"dio/internal/dashboard"
 	"dio/internal/embedding"
 	"dio/internal/fivegsim"
 	"dio/internal/llm"
+	"dio/internal/promql"
+	"dio/internal/sandbox"
 	"dio/internal/tsdb"
 	"dio/internal/vecstore"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, engine, all")
 	size := flag.Int("questions", benchmark.DefaultSize, "benchmark size")
 	seed := flag.Int64("seed", 7, "benchmark generation seed")
 	verbose := flag.Bool("v", false, "print per-task breakdowns")
@@ -63,6 +69,7 @@ func main() {
 	run("table3b", (*env1).table3b)
 	run("cost", (*env1).cost)
 	run("ablations", (*env1).ablations)
+	run("engine", (*env1).engine)
 }
 
 // env1 carries the shared experiment environment: the catalog, the
@@ -453,6 +460,74 @@ func (e *env1) ablations() error {
 			return err
 		}
 		fmt.Printf("  self-consistency (temp 0.7, k=%d): EX=%.0f%%\n", k, r.EX())
+	}
+	return nil
+}
+
+// engine measures the range-evaluation hot path on the populated operator
+// trace: select-once cursor evaluation versus the legacy stepwise path,
+// and serial versus parallel dashboard rendering.
+func (e *env1) engine() error {
+	minT, maxT, ok := e.db.TimeRange()
+	if !ok {
+		return fmt.Errorf("engine: empty store")
+	}
+	start, end := time.UnixMilli(minT), time.UnixMilli(maxT)
+	step := end.Sub(start) / 200
+	queries := []string{
+		"smfsm_pdu_sessions_active",
+		"sum by (instance) (rate(amfcc_initial_registration_attempt[5m]))",
+	}
+	fmt.Printf("range window: %s … %s, step %s (200 steps)\n",
+		start.Format(time.RFC3339), end.Format(time.RFC3339), step)
+	for _, q := range queries {
+		fmt.Printf("\nquery: %s\n", q)
+		for _, mode := range []struct {
+			name     string
+			stepwise bool
+		}{{"select-once", false}, {"stepwise   ", true}} {
+			opts := promql.DefaultEngineOptions()
+			opts.StepwiseRange = mode.stepwise
+			eng := promql.NewEngine(e.db, opts)
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				ctx := context.Background()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.QueryRange(ctx, q, start, end, step); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			fmt.Printf("  %s  %s  %s\n", mode.name, r.String(), r.MemString())
+		}
+	}
+
+	ex := sandbox.New(e.db, sandbox.DefaultLimits())
+	d := &dashboard.Dashboard{Title: "engine-bench"}
+	for _, q := range []string{
+		"smfsm_pdu_sessions_active",
+		"sum by (instance) (rate(amfcc_initial_registration_attempt[5m]))",
+		"sum(rate(amfmm_paging_attempt[5m]))",
+		"upfgtp_tunnels_active",
+	} {
+		d.Panels = append(d.Panels, dashboard.Panel{Title: q, Query: q, Kind: dashboard.KindTimeSeries})
+	}
+	fmt.Printf("\ndashboard: %d panels, 30m window\n", len(d.Panels))
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial  ", 1}, {"parallel", 0}} {
+		r := dashboard.NewRenderer(ex, mode.workers)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Render(ctx, d, end, 30*time.Minute, time.Minute, 60); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		fmt.Printf("  %s  %s  %s\n", mode.name, res.String(), res.MemString())
 	}
 	return nil
 }

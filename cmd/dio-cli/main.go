@@ -19,7 +19,6 @@ import (
 
 	"dio/internal/catalog"
 	"dio/internal/core"
-	"dio/internal/dashboard"
 	"dio/internal/feedback"
 	"dio/internal/fivegsim"
 	"dio/internal/llm"
@@ -180,7 +179,7 @@ func ask(ctx context.Context, cp *core.Copilot, q string, showDash bool) *core.A
 		_, maxT, ok := cp.Executor().Engine().DB().TimeRange()
 		if ok {
 			end := time.UnixMilli(maxT)
-			out, err := dashboard.Render(ctx, ans.Dashboard, cp.Executor(), end, 30*time.Minute, time.Minute, 60)
+			out, err := cp.Renderer().Render(ctx, ans.Dashboard, end, 30*time.Minute, time.Minute, 60)
 			if err != nil {
 				log.Printf("dashboard: %v", err)
 			} else {

@@ -86,6 +86,7 @@ type Copilot struct {
 	retriever *Retriever
 	model     *llm.Model
 	exec      *sandbox.Executor
+	renderer  *dashboard.Renderer
 	fewshot   []llm.Example
 	opts      Options
 	metrics   *pipelineMetrics
@@ -172,9 +173,11 @@ func New(cfg Config) (*Copilot, error) {
 		fewshot:   few,
 		opts:      opts,
 	}
+	cp.renderer = dashboard.NewRenderer(cp.exec, 0)
 	if cfg.Metrics != nil {
 		cp.metrics = newPipelineMetrics(cfg.Metrics)
 		cp.exec.Instrument(cfg.Metrics)
+		cp.renderer.Instrument(cfg.Metrics)
 	}
 	return cp, nil
 }
@@ -187,6 +190,10 @@ func (c *Copilot) Retriever() *Retriever { return c.retriever }
 
 // Executor returns the sandboxed query executor.
 func (c *Copilot) Executor() *sandbox.Executor { return c.exec }
+
+// Renderer returns the copilot's dashboard renderer (parallel panel
+// evaluation; instrumented when the copilot has a metrics registry).
+func (c *Copilot) Renderer() *dashboard.Renderer { return c.renderer }
 
 // Catalog returns the domain-specific database.
 func (c *Copilot) Catalog() *catalog.Database { return c.db }

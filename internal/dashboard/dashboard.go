@@ -88,19 +88,10 @@ func ForMetrics(title string, metrics []*catalog.Metric) *Dashboard {
 }
 
 // Render evaluates every panel over [end-window, end] and renders ASCII
-// charts (the CLI's dashboard view).
+// charts (the CLI's dashboard view). Panels evaluate concurrently; use
+// NewRenderer directly to bound the worker pool or attach metrics.
 func Render(ctx context.Context, d *Dashboard, exec *sandbox.Executor, end time.Time, window, step time.Duration, width int) (string, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s ==\n", d.Title)
-	for _, p := range d.Panels {
-		m, err := exec.ExecuteRange(ctx, p.Query, end.Add(-window), end, step)
-		if err != nil {
-			return "", fmt.Errorf("dashboard: panel %q: %w", p.Title, err)
-		}
-		fmt.Fprintf(&b, "\n-- %s (%s) --\n", p.Title, p.Query)
-		b.WriteString(Sparklines(m, width))
-	}
-	return b.String(), nil
+	return NewRenderer(exec, 0).Render(ctx, d, end, window, step, width)
 }
 
 // sparkGlyphs are the eight vertical-resolution levels of a sparkline.

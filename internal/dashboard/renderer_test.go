@@ -1,0 +1,121 @@
+package dashboard
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dio/internal/obs"
+	"dio/internal/sandbox"
+	"dio/internal/tsdb"
+)
+
+// renderFixture builds a store with n gauge metrics (g0..g<n-1>, one
+// series each, 30 one-minute samples) and a dashboard with one panel per
+// metric.
+func renderFixture(t testing.TB, n int) (*sandbox.Executor, *Dashboard, time.Time) {
+	t.Helper()
+	db := tsdb.New()
+	base := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	d := &Dashboard{Title: "fixture"}
+	for p := 0; p < n; p++ {
+		name := fmt.Sprintf("g%d", p)
+		ls := tsdb.FromMap(map[string]string{"__name__": name})
+		for i := 0; i < 30; i++ {
+			if err := db.Append(ls, base.Add(time.Duration(i)*time.Minute).UnixMilli(), float64(i*(p+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Panels = append(d.Panels, Panel{Title: name, Query: name, Kind: KindTimeSeries})
+	}
+	return sandbox.New(db, sandbox.DefaultLimits()), d, base.Add(29 * time.Minute)
+}
+
+// TestRendererMatchesSerialOutput: parallel rendering must assemble panels
+// in declaration order, byte-identical regardless of worker count.
+func TestRendererMatchesSerialOutput(t *testing.T) {
+	exec, d, end := renderFixture(t, 8)
+	serial, err := NewRenderer(exec, 1).Render(context.Background(), d, end, 20*time.Minute, time.Minute, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := NewRenderer(exec, workers).Render(context.Background(), d, end, 20*time.Minute, time.Minute, 40)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par != serial {
+			t.Errorf("workers=%d: output differs from serial rendering", workers)
+		}
+	}
+	for i := range d.Panels {
+		if !strings.Contains(serial, fmt.Sprintf("-- g%d ", i)) {
+			t.Errorf("missing panel g%d in output", i)
+		}
+	}
+}
+
+// TestRendererPanelErrorWins: when one panel genuinely fails, the reported
+// error must name that panel, not a sibling's cascade cancellation.
+func TestRendererPanelErrorWins(t *testing.T) {
+	exec, d, end := renderFixture(t, 6)
+	d.Panels[3].Query = "sum(" // parse error
+	_, err := NewRenderer(exec, 2).Render(context.Background(), d, end, 20*time.Minute, time.Minute, 40)
+	if err == nil {
+		t.Fatal("expected panel error")
+	}
+	if !strings.Contains(err.Error(), `panel "g3"`) {
+		t.Errorf("error does not name the failing panel: %v", err)
+	}
+}
+
+// TestRendererMidRenderCancellation: cancelling the caller's context while
+// panels are in flight must abort the render promptly with a context
+// error, with no goroutine left writing into the result (the -race run of
+// this test is the regression guard for the pool's shutdown path).
+func TestRendererMidRenderCancellation(t *testing.T) {
+	exec, d, end := renderFixture(t, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := NewRenderer(exec, 2).Render(ctx, d, end, 20*time.Minute, time.Second, 40)
+		errc <- err
+	}()
+	cancel()
+	select {
+	case err := <-errc:
+		// The cancel races panel completion: a finished render is fine, a
+		// failed one must be a context error.
+		if err != nil && !strings.Contains(err.Error(), context.Canceled.Error()) {
+			t.Errorf("expected context cancellation, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("render did not return after cancellation")
+	}
+}
+
+// TestRendererInstrumented: panel latency and outcome metrics register and
+// accumulate.
+func TestRendererInstrumented(t *testing.T) {
+	exec, d, end := renderFixture(t, 4)
+	d.Panels[2].Query = "bogus_metric_that_parses" // empty result is still ok
+	reg := obs.NewRegistry()
+	r := NewRenderer(exec, 4)
+	r.Instrument(reg)
+	if _, err := r.Render(context.Background(), d, end, 20*time.Minute, time.Minute, 40); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := reg.FormatText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String()
+	if !strings.Contains(dump, "dio_dashboard_panel_render_seconds") {
+		t.Error("panel latency histogram not exported")
+	}
+	if !strings.Contains(dump, `dio_dashboard_panels_total{outcome="ok"} 4`) {
+		t.Errorf("expected 4 ok panels in export:\n%s", dump)
+	}
+}

@@ -28,6 +28,11 @@ type EngineOptions struct {
 	// in a semaphore queue (and fail if their context is cancelled while
 	// queued). Zero means unlimited.
 	MaxConcurrent int
+	// StepwiseRange disables select-once range evaluation, re-running full
+	// storage selection at every step of a range query. Kept as an escape
+	// hatch and for equivalence tests and benchmarks against the legacy
+	// path.
+	StepwiseRange bool
 }
 
 // DefaultEngineOptions mirrors Prometheus defaults.
@@ -44,6 +49,22 @@ type Hooks struct {
 	// OnSamples receives the number of stored samples each top-level
 	// evaluation touched.
 	OnSamples func(int)
+	// OnRangeEval receives the select-once statistics of each range query.
+	OnRangeEval func(RangeStats)
+}
+
+// RangeStats summarises select-once evaluation for one range query.
+type RangeStats struct {
+	// SelectorHits counts selector evaluations served from the per-query
+	// series cache (every step after the first, for each selector).
+	SelectorHits int
+	// SelectorMisses counts selector fetches that went to storage (one per
+	// distinct selector node).
+	SelectorMisses int
+	// CursorResets counts cursor re-seeks caused by non-monotone
+	// evaluation timestamps (subqueries re-anchoring their inner
+	// timeline).
+	CursorResets int
 }
 
 // Engine evaluates parsed expressions against a tsdb.DB. It is safe for
@@ -111,6 +132,9 @@ type evaluator struct {
 	eng     *Engine
 	ts      int64 // evaluation timestamp (ms)
 	samples int
+	// sel, when set, serves selector evaluations from the range query's
+	// select-once cache instead of hitting storage per step.
+	sel *selCache
 }
 
 func (ev *evaluator) account(n int) error {
@@ -158,7 +182,10 @@ func (e *Engine) evalInstant(ctx context.Context, expr Expr, ts time.Time) (Valu
 }
 
 // QueryRange evaluates input at every step in [start, end], producing a
-// matrix (used by dashboard panels).
+// matrix (used by dashboard panels). Storage selection runs once per
+// selector for the whole range: every step after the first advances
+// per-series cursors over the fetched samples instead of re-running
+// Select/SelectRange (disable with EngineOptions.StepwiseRange).
 func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.Time, step time.Duration) (Matrix, error) {
 	expr, err := Parse(input)
 	if err != nil {
@@ -174,10 +201,29 @@ func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.T
 		return nil, err
 	}
 	defer e.exit()
+	// The engine timeout spans the whole range evaluation (the stepwise
+	// path bounded each step separately, which let a slow range query run
+	// for steps × Timeout).
+	if e.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+		defer cancel()
+	}
+	var sel *selCache
+	if !e.opts.StepwiseRange {
+		sel = newSelCache(e.db)
+		if e.hooks.OnRangeEval != nil {
+			defer func() { e.hooks.OnRangeEval(sel.stats()) }()
+		}
+	}
 	acc := make(map[string]*MSeries)
 	var order []string
 	for t := start; !t.After(end); t = t.Add(step) {
-		v, err := e.evalInstant(ctx, expr, t)
+		ev := &evaluator{ctx: ctx, eng: e, ts: t.UnixMilli(), sel: sel}
+		v, err := ev.eval(expr)
+		if e.hooks.OnSamples != nil {
+			e.hooks.OnSamples(ev.samples)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -191,7 +237,12 @@ func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.T
 			return nil, fmt.Errorf("promql: range query requires a vector or scalar expression")
 		}
 		for _, s := range vec {
-			key := s.Labels.Key()
+			var key string
+			if sel != nil {
+				key = sel.keyOf(s.Labels)
+			} else {
+				key = s.Labels.Key()
+			}
 			ms, ok := acc[key]
 			if !ok {
 				ms = &MSeries{Labels: s.Labels}
@@ -259,7 +310,15 @@ func (ev *evaluator) evalUnary(n *UnaryExpr) (Value, error) {
 
 func (ev *evaluator) evalVectorSelector(n *VectorSelector) (Value, error) {
 	ts := ev.ts - n.Offset.Milliseconds()
-	points := ev.eng.db.Select(n.Matchers, ts, ev.eng.opts.LookbackDelta.Milliseconds())
+	lookback := ev.eng.opts.LookbackDelta.Milliseconds()
+	if ev.sel != nil {
+		out := ev.sel.instant(n, ts, lookback, ev.ts)
+		if err := ev.account(len(out)); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	points := ev.eng.db.Select(n.Matchers, ts, lookback)
 	if err := ev.account(len(points)); err != nil {
 		return nil, err
 	}
@@ -274,6 +333,13 @@ func (ev *evaluator) evalVectorSelector(n *VectorSelector) (Value, error) {
 func (ev *evaluator) evalMatrix(n *MatrixSelector) (Matrix, int64, int64, error) {
 	end := ev.ts - n.VectorSelector.Offset.Milliseconds()
 	start := end - n.Range.Milliseconds()
+	if ev.sel != nil {
+		out, total := ev.sel.windows(n.VectorSelector, start, end)
+		if err := ev.account(total); err != nil {
+			return nil, 0, 0, err
+		}
+		return out, start, end, nil
+	}
 	ranges := ev.eng.db.SelectRange(n.VectorSelector.Matchers, start, end)
 	total := 0
 	out := make(Matrix, 0, len(ranges))

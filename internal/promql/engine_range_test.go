@@ -1,0 +1,152 @@
+package promql
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// rangeCorpus exercises every evaluation shape that touches storage:
+// plain/filtered/offset selectors, range functions, aggregations, binary
+// and set operators, subqueries (non-monotone inner timelines), histogram
+// quantiles, and matchers the postings index cannot answer.
+var rangeCorpus = []string{
+	"amfcc_n1_auth_request",
+	`amfcc_n1_auth_request{instance="a"}`,
+	`amfcc_n1_auth_request{instance=~"a|b"}`,
+	`amfcc_n1_auth_request{instance!="a"}`,
+	`smf_pdu_session_active{nf=""}`, // label-absent matcher: must bypass the index
+	`amfcc_n1_auth_request offset 5m`,
+	"rate(amfcc_n1_auth_request[5m])",
+	"increase(amfcc_n1_auth_request[10m])",
+	"sum(rate(amfcc_n1_auth_request[5m]))",
+	"sum by (instance) (rate(amfcc_n1_auth_request[5m]))",
+	"avg by (instance) (smf_pdu_session_active)",
+	"max_over_time(smf_pdu_session_active[10m])",
+	"topk(1, smf_pdu_session_active)",
+	"smf_pdu_session_active / 100",
+	"smf_pdu_session_active > 150",
+	`rate(amfcc_n1_auth_request[5m]) + on(instance) group_left smf_pdu_session_active`,
+	"amfcc_n1_auth_request and smf_pdu_session_active",
+	"smf_pdu_session_active or vector(1)",
+	"avg_over_time(sum(smf_pdu_session_active)[10m:1m])",
+	"max_over_time(rate(amfcc_n1_auth_request[5m])[15m:2m])",
+	"histogram_quantile(0.9, http_request_duration_seconds_bucket)",
+	"absent(nonexistent_metric)",
+	"nonexistent_metric",
+	"count(amfcc_n1_auth_request) by (nf)",
+	"scalar(sum(smf_pdu_session_active)) * 2",
+}
+
+// TestQueryRangeEquivalence: the select-once cursor path must produce
+// byte-identical matrices to the legacy stepwise path (full storage
+// selection per step) for every corpus query, over windows that include
+// steps before data begins and steps past its end (lookback/staleness).
+func TestQueryRangeEquivalence(t *testing.T) {
+	db, end := testDB(t)
+	fast := NewEngine(db, DefaultEngineOptions())
+	slowOpts := DefaultEngineOptions()
+	slowOpts.StepwiseRange = true
+	slow := NewEngine(db, slowOpts)
+
+	windows := []struct {
+		name       string
+		start, end time.Time
+		step       time.Duration
+	}{
+		{"mid", end.Add(-20 * time.Minute), end, time.Minute},
+		{"pre-data", end.Add(-40 * time.Minute), end.Add(-25 * time.Minute), 30 * time.Second},
+		{"past-end", end.Add(-5 * time.Minute), end.Add(10 * time.Minute), 2 * time.Minute},
+		{"single-step", end, end, time.Minute},
+	}
+	for _, w := range windows {
+		for _, q := range rangeCorpus {
+			m1, err1 := fast.QueryRange(context.Background(), q, w.start, w.end, w.step)
+			m2, err2 := slow.QueryRange(context.Background(), q, w.start, w.end, w.step)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s %q: error mismatch: select-once=%v stepwise=%v", w.name, q, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if got, want := m1.String(), m2.String(); got != want {
+				t.Errorf("%s %q: matrices differ\nselect-once:\n%s\nstepwise:\n%s", w.name, q, got, want)
+			}
+		}
+	}
+}
+
+// TestQueryRangeStats: the select-once cache must fetch each selector from
+// storage exactly once per range query and serve every later step from the
+// cache, with cursor resets only on non-monotone (subquery) timelines.
+func TestQueryRangeStats(t *testing.T) {
+	db, end := testDB(t)
+	eng := NewEngine(db, DefaultEngineOptions())
+	var stats RangeStats
+	var calls int
+	eng.SetHooks(Hooks{OnRangeEval: func(s RangeStats) { stats = s; calls++ }})
+
+	start := end.Add(-10 * time.Minute)
+	if _, err := eng.QueryRange(context.Background(), "rate(amfcc_n1_auth_request[5m])", start, end, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("OnRangeEval fired %d times, want 1", calls)
+	}
+	// 11 steps, one selector node: 1 storage fetch, 10 cache hits.
+	if stats.SelectorMisses != 1 {
+		t.Errorf("SelectorMisses = %d, want 1", stats.SelectorMisses)
+	}
+	if stats.SelectorHits != 10 {
+		t.Errorf("SelectorHits = %d, want 10", stats.SelectorHits)
+	}
+	if stats.CursorResets != 0 {
+		t.Errorf("CursorResets = %d, want 0 for a monotone range", stats.CursorResets)
+	}
+
+	// Subqueries rewind the inner timeline at each outer step; the cache
+	// must absorb that as counted re-seeks, never as a second fetch.
+	if _, err := eng.QueryRange(context.Background(), "avg_over_time(sum(smf_pdu_session_active)[10m:1m])", start, end, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if stats.SelectorMisses != 1 {
+		t.Errorf("subquery SelectorMisses = %d, want 1", stats.SelectorMisses)
+	}
+	if stats.CursorResets == 0 {
+		t.Error("subquery range produced no cursor resets; expected re-seeks on inner-timeline rewinds")
+	}
+}
+
+// TestQueryRangeStepwiseSkipsHook: the legacy path has no select-once cache
+// and must not report range stats.
+func TestQueryRangeStepwiseSkipsHook(t *testing.T) {
+	db, end := testDB(t)
+	opts := DefaultEngineOptions()
+	opts.StepwiseRange = true
+	eng := NewEngine(db, opts)
+	called := false
+	eng.SetHooks(Hooks{OnRangeEval: func(RangeStats) { called = true }})
+	if _, err := eng.QueryRange(context.Background(), "smf_pdu_session_active", end.Add(-5*time.Minute), end, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("OnRangeEval fired on the stepwise path")
+	}
+}
+
+// TestQueryRangeMaxSamplesPerStep: the sample budget is per step, exactly
+// as on the stepwise path — the cached fetch must not change when a query
+// trips MaxSamples.
+func TestQueryRangeMaxSamplesPerStep(t *testing.T) {
+	db, end := testDB(t)
+	opts := DefaultEngineOptions()
+	opts.MaxSamples = 3 // each step touches 4 series
+	for _, stepwise := range []bool{false, true} {
+		opts.StepwiseRange = stepwise
+		eng := NewEngine(db, opts)
+		_, err := eng.QueryRange(context.Background(), "amfcc_n1_auth_request + smf_pdu_session_active", end.Add(-5*time.Minute), end, time.Minute)
+		if err == nil {
+			t.Errorf("stepwise=%v: expected ErrTooManySamples, got nil", stepwise)
+		}
+	}
+}

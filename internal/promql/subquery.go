@@ -49,8 +49,10 @@ func (ev *evaluator) evalSubquery(sq *SubqueryExpr) (Matrix, int64, int64, error
 			continue
 		}
 		// The step evaluator inherits and extends the parent's sample
-		// budget, so a subquery cannot amplify past MaxSamples.
-		sub := &evaluator{ctx: ev.ctx, eng: ev.eng, ts: t, samples: ev.samples}
+		// budget, so a subquery cannot amplify past MaxSamples. It also
+		// inherits the select-once cache: inner timestamps rewind at the
+		// next outer step, which the cache absorbs as a cursor re-seek.
+		sub := &evaluator{ctx: ev.ctx, eng: ev.eng, ts: t, samples: ev.samples, sel: ev.sel}
 		v, err := sub.eval(sq.Expr)
 		if err != nil {
 			return nil, 0, 0, err
@@ -66,7 +68,12 @@ func (ev *evaluator) evalSubquery(sq *SubqueryExpr) (Matrix, int64, int64, error
 			return nil, 0, 0, fmt.Errorf("promql: subquery inner expression must be a vector or scalar")
 		}
 		for _, s := range vec {
-			key := s.Labels.Key()
+			var key string
+			if ev.sel != nil {
+				key = ev.sel.keyOf(s.Labels)
+			} else {
+				key = s.Labels.Key()
+			}
 			ms, ok := acc[key]
 			if !ok {
 				ms = &MSeries{Labels: s.Labels}

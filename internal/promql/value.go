@@ -47,9 +47,31 @@ func (v Vector) String() string {
 	return strings.Join(parts, "\n")
 }
 
-// Sort orders the vector by label key for deterministic output.
+// Sort orders the vector by label key for deterministic output. Keys are
+// built once per element, not inside the comparator (which would rebuild
+// each one O(log n) times).
 func (v Vector) Sort() {
-	sort.Slice(v, func(i, j int) bool { return v[i].Labels.Key() < v[j].Labels.Key() })
+	if len(v) < 2 {
+		return
+	}
+	keys := make([]string, len(v))
+	for i := range v {
+		keys[i] = v[i].Labels.Key()
+	}
+	sort.Sort(vectorByKey{v: v, keys: keys})
+}
+
+// vectorByKey sorts a vector and its precomputed keys together.
+type vectorByKey struct {
+	v    Vector
+	keys []string
+}
+
+func (s vectorByKey) Len() int           { return len(s.v) }
+func (s vectorByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s vectorByKey) Swap(i, j int) {
+	s.v[i], s.v[j] = s.v[j], s.v[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // MSeries is one series of a range-vector (matrix) result.

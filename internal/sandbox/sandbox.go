@@ -102,9 +102,20 @@ func (e *Executor) Instrument(reg *obs.Registry) {
 		"Time queries spent waiting for an engine concurrency slot.", "seconds", obs.DefBuckets())
 	samples := reg.Histogram("dio_promql_samples_loaded",
 		"Stored samples touched per query evaluation.", "", obs.ExponentialBuckets(10, 10, 7))
+	selHits := reg.Counter("dio_promql_selector_cache_hits_total",
+		"Range-query selector evaluations served from the select-once cache.", "")
+	selMisses := reg.Counter("dio_promql_selector_cache_misses_total",
+		"Range-query selector fetches that went to storage.", "")
+	resets := reg.Counter("dio_promql_cursor_resets_total",
+		"Series cursor re-seeks caused by non-monotone evaluation timestamps.", "")
 	e.engine.SetHooks(promql.Hooks{
 		QueueWait: func(d time.Duration) { queueWait.Observe(d.Seconds()) },
 		OnSamples: func(n int) { samples.Observe(float64(n)) },
+		OnRangeEval: func(s promql.RangeStats) {
+			selHits.Add(float64(s.SelectorHits))
+			selMisses.Add(float64(s.SelectorMisses))
+			resets.Add(float64(s.CursorResets))
+		},
 	})
 }
 

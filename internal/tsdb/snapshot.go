@@ -60,9 +60,8 @@ func LoadSnapshot(r io.Reader) (*DB, error) {
 			}
 			prev = smp.T
 		}
-		cp := &Series{Labels: ls, Samples: append([]Sample(nil), s.Samples...)}
-		db.series[key] = cp
-		db.byName[ls.Name()] = append(db.byName[ls.Name()], key)
+		cp := db.addSeriesLocked(key, ls)
+		cp.Samples = append([]Sample(nil), s.Samples...)
 		if n := len(s.Samples); n > 0 {
 			if s.Samples[0].T < db.minT {
 				db.minT = s.Samples[0].T
@@ -91,18 +90,7 @@ func (db *DB) Truncate(keepAfter int64) int64 {
 			s.Samples = append([]Sample(nil), s.Samples[i:]...)
 		}
 		if len(s.Samples) == 0 {
-			delete(db.series, key)
-			name := s.Labels.Name()
-			keys := db.byName[name]
-			for j, k := range keys {
-				if k == key {
-					db.byName[name] = append(keys[:j:j], keys[j+1:]...)
-					break
-				}
-			}
-			if len(db.byName[name]) == 0 {
-				delete(db.byName, name)
-			}
+			db.dropSeriesLocked(key, s)
 			continue
 		}
 		if s.Samples[0].T < newMin {

@@ -17,7 +17,13 @@ type Sample struct {
 type Series struct {
 	Labels  Labels
 	Samples []Sample
+	// fp caches Labels.Key(), computed once when the series is created, so
+	// selection and sorting never rebuild the fingerprint string.
+	fp string
 }
+
+// Fingerprint returns the series' cached canonical label key.
+func (s *Series) Fingerprint() string { return s.fp }
 
 // lastBefore returns the newest sample with T <= t and at least t-lookback,
 // implementing Prometheus instant-lookup staleness semantics.
@@ -47,9 +53,14 @@ type DB struct {
 	mu sync.RWMutex
 	// series by fingerprint.
 	series map[string]*Series
-	// byName indexes series fingerprints by metric name for fast selector
-	// scans (every PromQL selector names a metric).
-	byName map[string][]string
+	// index is the inverted label→value→fingerprint index used to narrow
+	// selector scans; its __name__ entries are the per-metric posting
+	// lists.
+	index postings
+	// keys holds every fingerprint, sorted, maintained incrementally on
+	// append/truncate: the candidate list for selectors with no usable
+	// equality matcher.
+	keys []string
 	// minT/maxT track the ingested time range.
 	minT, maxT int64
 	samples    int64
@@ -57,7 +68,7 @@ type DB struct {
 
 // New returns an empty database.
 func New() *DB {
-	return &DB{series: make(map[string]*Series), byName: make(map[string][]string), minT: 1<<63 - 1, maxT: -(1<<63 - 1)}
+	return &DB{series: make(map[string]*Series), index: make(postings), minT: 1<<63 - 1, maxT: -(1<<63 - 1)}
 }
 
 // ErrOutOfOrder is returned when appending a sample at or before the last
@@ -75,10 +86,7 @@ func (db *DB) Append(ls Labels, t int64, v float64) error {
 	defer db.mu.Unlock()
 	s, ok := db.series[key]
 	if !ok {
-		s = &Series{Labels: ls}
-		db.series[key] = s
-		name := ls.Name()
-		db.byName[name] = append(db.byName[name], key)
+		s = db.addSeriesLocked(key, ls)
 	}
 	if n := len(s.Samples); n > 0 && s.Samples[n-1].T >= t {
 		return fmt.Errorf("%w: series %s at t=%d (last %d)", ErrOutOfOrder, ls, t, s.Samples[n-1].T)
@@ -92,6 +100,24 @@ func (db *DB) Append(ls Labels, t int64, v float64) error {
 	}
 	db.samples++
 	return nil
+}
+
+// addSeriesLocked registers a new empty series and indexes it. Callers
+// must hold the write lock.
+func (db *DB) addSeriesLocked(key string, ls Labels) *Series {
+	s := &Series{Labels: ls, fp: key}
+	db.series[key] = s
+	db.index.add(key, ls)
+	db.keys = insertSorted(db.keys, key)
+	return s
+}
+
+// dropSeriesLocked removes a series from the store and every index.
+// Callers must hold the write lock.
+func (db *DB) dropSeriesLocked(key string, s *Series) {
+	delete(db.series, key)
+	db.index.remove(key, s.Labels)
+	db.keys = removeSorted(db.keys, key)
 }
 
 // NumSeries returns the number of stored series.
@@ -128,7 +154,7 @@ func (db *DB) MetricTimeRange(name string) (minT, maxT int64, ok bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	minT, maxT = 1<<63-1, -(1<<63 - 1)
-	for _, key := range db.byName[name] {
+	for _, key := range db.index.get(MetricNameLabel, name) {
 		s := db.series[key]
 		if len(s.Samples) == 0 {
 			continue
@@ -151,36 +177,38 @@ func (db *DB) MetricTimeRange(name string) (minT, maxT int64, ok bool) {
 func (db *DB) MetricNames() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.byName))
-	for n := range db.byName {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return db.index.values(MetricNameLabel)
 }
 
 // HasMetric reports whether any series exists for the metric name.
 func (db *DB) HasMetric(name string) bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return len(db.byName[name]) > 0
+	return len(db.index.get(MetricNameLabel, name)) > 0
 }
 
 // candidates returns the fingerprints to scan for the given matchers: the
-// per-name posting list when a __name__ equality matcher exists, else all
-// series. Callers must hold the read lock.
+// shortest posting list among the equality matchers, else every series.
+// All lists are pre-sorted, so results built by filtering candidates are
+// already in canonical order. Callers must hold the read lock.
 func (db *DB) candidates(matchers []*Matcher) []string {
+	var best []string
+	found := false
 	for _, m := range matchers {
-		if m.Name == MetricNameLabel && m.Type == MatchEqual {
-			return db.byName[m.Value]
+		// An empty equality value matches series *lacking* the label, which
+		// the index cannot answer; fall through to the full key list.
+		if m.Type != MatchEqual || m.Value == "" {
+			continue
+		}
+		lst := db.index.get(m.Name, m.Value)
+		if !found || len(lst) < len(best) {
+			best, found = lst, true
 		}
 	}
-	keys := make([]string, 0, len(db.series))
-	for k := range db.series {
-		keys = append(keys, k)
+	if found {
+		return best
 	}
-	sort.Strings(keys)
-	return keys
+	return db.keys
 }
 
 // SeriesPoint is an instant-query result: a series' labels and the sample
@@ -192,7 +220,8 @@ type SeriesPoint struct {
 
 // Select returns, for every series matching matchers, the newest sample at
 // or before t that is no older than lookback. Results are ordered by
-// label-set key for determinism.
+// label-set key (candidates are iterated in fingerprint order, so no sort
+// is needed).
 func (db *DB) Select(matchers []*Matcher, t, lookback int64) []SeriesPoint {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -206,7 +235,6 @@ func (db *DB) Select(matchers []*Matcher, t, lookback int64) []SeriesPoint {
 			out = append(out, SeriesPoint{Labels: s.Labels, Sample: smp})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Labels.Key() < out[j].Labels.Key() })
 	return out
 }
 
@@ -237,7 +265,39 @@ func (db *DB) SelectRange(matchers []*Matcher, start, end int64) []SeriesRange {
 		copy(cp, w)
 		out = append(out, SeriesRange{Labels: s.Labels, Samples: cp})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Labels.Key() < out[j].Labels.Key() })
+	return out
+}
+
+// SeriesView is a zero-copy handle on one stored series: the shared label
+// set, its cached fingerprint, and a stable prefix of its samples. The
+// samples slice must be treated as read-only; it stays valid across
+// concurrent appends (new samples land past the view) and truncations
+// (which replace, never mutate, the stored slice).
+type SeriesView struct {
+	Labels      Labels
+	Fingerprint string
+	Samples     []Sample
+}
+
+// SelectSeries returns views of every series matching matchers, ordered by
+// fingerprint, without copying samples. It is the batched selection API
+// behind select-once range evaluation: fetch the series once, then step
+// over their samples with cursors instead of re-running Select per step.
+func (db *DB) SelectSeries(matchers []*Matcher) []SeriesView {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []SeriesView
+	for _, key := range db.candidates(matchers) {
+		s := db.series[key]
+		if !MatchLabels(s.Labels, matchers) {
+			continue
+		}
+		out = append(out, SeriesView{
+			Labels:      s.Labels,
+			Fingerprint: s.fp,
+			Samples:     s.Samples[:len(s.Samples):len(s.Samples)],
+		})
+	}
 	return out
 }
 
@@ -247,12 +307,7 @@ func (db *DB) AllSeries() []SeriesRange {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	out := make([]SeriesRange, 0, len(db.series))
-	keys := make([]string, 0, len(db.series))
-	for k := range db.series {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range db.keys {
 		s := db.series[k]
 		cp := make([]Sample, len(s.Samples))
 		copy(cp, s.Samples)
@@ -262,20 +317,9 @@ func (db *DB) AllSeries() []SeriesRange {
 }
 
 // LabelValues returns the sorted distinct values of a label name across
-// all series.
+// all series, served from the inverted index.
 func (db *DB) LabelValues(name string) []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	set := make(map[string]bool)
-	for _, s := range db.series {
-		if v := s.Labels.Get(name); v != "" {
-			set[v] = true
-		}
-	}
-	vals := make([]string, 0, len(set))
-	for v := range set {
-		vals = append(vals, v)
-	}
-	sort.Strings(vals)
-	return vals
+	return db.index.values(name)
 }

@@ -303,3 +303,111 @@ func TestMetricTimeRange(t *testing.T) {
 		t.Errorf("TimeRange = %d..%d ok=%v", minT, maxT, ok)
 	}
 }
+
+func TestPostingsIndexSelection(t *testing.T) {
+	db := New()
+	app := func(name, inst, zone string) {
+		ls := FromMap(map[string]string{"__name__": name, "instance": inst, "zone": zone})
+		if err := db.Append(ls, 1000, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app("m", "a", "east")
+	app("m", "b", "west")
+	app("n", "a", "east")
+	app("n", "c", "west")
+
+	// A non-__name__ equality matcher is served from the inverted index.
+	pts := db.Select([]*Matcher{MustMatcher(MatchEqual, "instance", "a")}, 1000, 1000)
+	if len(pts) != 2 {
+		t.Fatalf("instance=a select = %+v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Labels.Key() >= pts[i].Labels.Key() {
+			t.Fatalf("results not in fingerprint order: %+v", pts)
+		}
+	}
+	// Equality on an absent value matches nothing.
+	if pts := db.Select([]*Matcher{MustMatcher(MatchEqual, "zone", "north")}, 1000, 1000); len(pts) != 0 {
+		t.Fatalf("absent value select = %+v", pts)
+	}
+	// An empty-value equality matcher means "label absent" and must not
+	// consult the index: every series here has a zone, so none match.
+	if pts := db.Select([]*Matcher{NameMatcher("m"), MustMatcher(MatchEqual, "zone", "")}, 1000, 1000); len(pts) != 0 {
+		t.Fatalf("empty-value select = %+v", pts)
+	}
+}
+
+func TestLabelValuesAfterTruncate(t *testing.T) {
+	db := New()
+	old := FromMap(map[string]string{"__name__": "m", "instance": "old"})
+	live := FromMap(map[string]string{"__name__": "m", "instance": "live"})
+	if err := db.Append(old, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []int64{1000, 5000} {
+		if err := db.Append(live, ts, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Truncate(2000)
+	if vals := db.LabelValues("instance"); len(vals) != 1 || vals[0] != "live" {
+		t.Fatalf("label values after truncate = %v", vals)
+	}
+	if db.HasMetric("m") != true {
+		t.Fatal("metric vanished")
+	}
+	// Drop the last series of the metric: the index entry must go too.
+	db.Truncate(10000)
+	if db.HasMetric("m") || len(db.MetricNames()) != 0 || len(db.LabelValues("instance")) != 0 {
+		t.Fatal("stale index entries after full truncate")
+	}
+}
+
+func TestSelectSeriesViews(t *testing.T) {
+	db := newTestDB(t)
+	ls := FromMap(map[string]string{"__name__": "m", "instance": "b"})
+	if err := db.Append(ls, 500, 42); err != nil {
+		t.Fatal(err)
+	}
+	views := db.SelectSeries([]*Matcher{NameMatcher("m")})
+	if len(views) != 2 {
+		t.Fatalf("views = %+v", views)
+	}
+	for i := 1; i < len(views); i++ {
+		if views[i-1].Fingerprint >= views[i].Fingerprint {
+			t.Fatal("views not in fingerprint order")
+		}
+	}
+	for _, v := range views {
+		if v.Fingerprint != v.Labels.Key() {
+			t.Fatalf("fingerprint %q != key %q", v.Fingerprint, v.Labels.Key())
+		}
+	}
+	// Views are stable prefixes: appending afterwards must not change what
+	// an existing view sees.
+	v := views[1] // instance=b, one sample
+	n := len(v.Samples)
+	if err := db.Append(ls, 600, 43); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Samples) != n || v.Samples[n-1].V != 42 {
+		t.Fatalf("view changed under append: %+v", v.Samples)
+	}
+	// A fresh view sees the new sample.
+	views = db.SelectSeries([]*Matcher{NameMatcher("m"), MustMatcher(MatchEqual, "instance", "b")})
+	if len(views) != 1 || len(views[0].Samples) != 2 {
+		t.Fatalf("fresh view = %+v", views)
+	}
+}
+
+func TestSeriesFingerprintCached(t *testing.T) {
+	db := newTestDB(t)
+	views := db.SelectSeries([]*Matcher{NameMatcher("m")})
+	if len(views) != 1 {
+		t.Fatal("missing series")
+	}
+	if views[0].Fingerprint == "" || views[0].Fingerprint != views[0].Labels.Key() {
+		t.Fatalf("fingerprint = %q", views[0].Fingerprint)
+	}
+}

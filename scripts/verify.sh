@@ -10,4 +10,11 @@ go vet ./...
 echo ">> go test -race ./..."
 go test -race ./...
 
+# Opt-in: substrate micro-benchmarks with allocation reporting
+# (VERIFY_BENCH=1 make verify).
+if [ "${VERIFY_BENCH:-0}" = "1" ]; then
+	echo ">> make bench (VERIFY_BENCH=1)"
+	make bench
+fi
+
 echo "verify: OK"
