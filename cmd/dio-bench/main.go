@@ -10,6 +10,8 @@
 //	                                retrieval index, feedback learning curve)
 //	dio-bench -experiment engine    range-evaluation perf: select-once vs
 //	                                stepwise, serial vs parallel dashboards
+//	dio-bench -experiment trace     ask-pipeline overhead of request-scoped
+//	                                trace capture: off vs sampled vs always-on
 //	dio-bench -experiment all       everything above
 package main
 
@@ -17,7 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"sort"
 	"testing"
@@ -31,24 +33,31 @@ import (
 	"dio/internal/embedding"
 	"dio/internal/fivegsim"
 	"dio/internal/llm"
+	"dio/internal/obs"
 	"dio/internal/promql"
 	"dio/internal/sandbox"
 	"dio/internal/tsdb"
 	"dio/internal/vecstore"
 )
 
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil)).With("app", "dio-bench")
+
+func fatal(msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
+}
+
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, engine, all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, engine, trace, all")
 	size := flag.Int("questions", benchmark.DefaultSize, "benchmark size")
 	seed := flag.Int64("seed", 7, "benchmark generation seed")
 	verbose := flag.Bool("v", false, "print per-task breakdowns")
 	outCSV := flag.String("csv", "", "write per-question results of table3a/table3b to this CSV file")
 	flag.Parse()
 
-	log.SetFlags(0)
 	env, err := newEnv(*size, *seed)
 	if err != nil {
-		log.Fatalf("dio-bench: %v", err)
+		fatal("environment", err)
 	}
 
 	run := func(name string, fn func(*env1) error) {
@@ -57,7 +66,7 @@ func main() {
 		}
 		fmt.Printf("\n================ %s ================\n", name)
 		if err := fn(env); err != nil {
-			log.Fatalf("dio-bench: %s: %v", name, err)
+			fatal(name, err)
 		}
 	}
 	env.verbose = *verbose
@@ -70,6 +79,7 @@ func main() {
 	run("cost", (*env1).cost)
 	run("ablations", (*env1).ablations)
 	run("engine", (*env1).engine)
+	run("trace", (*env1).trace)
 }
 
 // env1 carries the shared experiment environment: the catalog, the
@@ -126,11 +136,11 @@ func (e *env1) report(r *benchmark.Result) {
 	if e.outCSV != "" {
 		f, err := os.Create(e.outCSV)
 		if err != nil {
-			log.Fatalf("dio-bench: csv: %v", err)
+			fatal("csv", err)
 		}
 		defer f.Close()
 		if err := benchmark.WriteCSV(f, e.results...); err != nil {
-			log.Fatalf("dio-bench: csv: %v", err)
+			fatal("csv", err)
 		}
 	}
 }
@@ -529,6 +539,62 @@ func (e *env1) engine() error {
 		})
 		fmt.Printf("  %s  %s  %s\n", mode.name, res.String(), res.MemString())
 	}
+	return nil
+}
+
+// trace measures the ask-pipeline cost of request-scoped trace capture:
+// instrumented-but-untraced (histograms only) versus sampled (1 in 8)
+// versus always-on capture. The tentpole contract is that always-on
+// capture stays within 5% of the untraced pipeline.
+func (e *env1) trace() error {
+	const question = "How many PDU sessions are currently active?"
+	const maxOverhead = 0.05
+
+	modes := []struct {
+		name        string
+		sampleEvery int // 0 = capture disabled
+	}{
+		{"untraced ", 0},
+		{"sampled-8", 8},
+		{"always-on", 1},
+	}
+	nsOp := make(map[string]int64)
+	for _, mode := range modes {
+		reg := obs.NewRegistry()
+		cp, err := core.New(core.Config{Catalog: e.cat, TSDB: e.db, Model: llm.MustNew("gpt-4"), Metrics: reg})
+		if err != nil {
+			return err
+		}
+		if mode.sampleEvery > 0 {
+			cp.Tracer().EnableCapture(obs.NewTraceStore(256, time.Second), mode.sampleEvery)
+		}
+		ctx := context.Background()
+		// Warm the retriever/prompt caches so the measured loop is steady-state.
+		if _, err := cp.Ask(ctx, question); err != nil {
+			return err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cp.Ask(ctx, question); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		nsOp[mode.name] = int64(r.NsPerOp())
+		fmt.Printf("  %s  %s  %s\n", mode.name, r.String(), r.MemString())
+	}
+
+	base := nsOp["untraced "]
+	for _, name := range []string{"sampled-8", "always-on"} {
+		overhead := float64(nsOp[name]-base) / float64(base)
+		fmt.Printf("  %s overhead vs untraced: %+.2f%%\n", name, overhead*100)
+		if name == "always-on" && overhead > maxOverhead {
+			return fmt.Errorf("trace: always-on capture overhead %.2f%% exceeds the %.0f%% budget",
+				overhead*100, maxOverhead*100)
+		}
+	}
+	fmt.Printf("  PASS: always-on capture within the %.0f%% overhead budget\n", maxOverhead*100)
 	return nil
 }
 

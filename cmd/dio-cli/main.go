@@ -4,6 +4,7 @@
 //
 //	dio-cli                              # interactive session
 //	dio-cli -q "How many PDU sessions are currently active?"
+//	dio-cli -q "..." -explain            # print the captured request trace
 //	dio-cli -model gpt-3.5-turbo -dashboard=false
 package main
 
@@ -12,7 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -22,20 +23,26 @@ import (
 	"dio/internal/feedback"
 	"dio/internal/fivegsim"
 	"dio/internal/llm"
+	"dio/internal/obs"
 	"dio/internal/promql"
 	"dio/internal/sandbox"
 	"dio/internal/tsdb"
 )
+
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil)).With("app", "dio-cli")
+
+func fatal(msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	modelName := flag.String("model", "gpt-4", "foundation model tier")
 	question := flag.String("q", "", "ask one question and exit")
 	showDash := flag.Bool("dashboard", true, "render ASCII dashboards")
 	duration := flag.Duration("duration", time.Hour, "simulated trace length")
+	explain := flag.Bool("explain", false, "print the captured request trace (span tree) after each answer")
 	flag.Parse()
-
-	log.SetFlags(0)
-	log.SetPrefix("dio-cli: ")
 
 	fmt.Fprintln(os.Stderr, "dio-cli: preparing the operator environment…")
 	cat := catalog.Generate()
@@ -43,15 +50,24 @@ func main() {
 	cfg := fivegsim.DefaultConfig()
 	cfg.Duration = *duration
 	if _, err := fivegsim.Populate(db, cat, cfg); err != nil {
-		log.Fatalf("populating TSDB: %v", err)
+		fatal("populating TSDB", err)
 	}
 	model, err := llm.New(*modelName)
 	if err != nil {
-		log.Fatal(err)
+		fatal("model", err)
 	}
-	cp, err := core.New(core.Config{Catalog: cat, TSDB: db, Model: model})
+	cfgCore := core.Config{Catalog: cat, TSDB: db, Model: model}
+	if *explain {
+		// Trace capture needs the metrics plumbing; the registry is
+		// otherwise unused in the CLI.
+		cfgCore.Metrics = obs.NewRegistry()
+	}
+	cp, err := core.New(cfgCore)
 	if err != nil {
-		log.Fatal(err)
+		fatal("copilot", err)
+	}
+	if *explain {
+		cp.Tracer().EnableCapture(obs.NewTraceStore(64, time.Second), 1)
 	}
 	tracker := feedback.NewTracker([]string{"r.nakamura", "a.kimura"}, nil)
 	feedback.WireCopilot(tracker, cp)
@@ -59,7 +75,7 @@ func main() {
 
 	ctx := context.Background()
 	if *question != "" {
-		ask(ctx, cp, *question, *showDash)
+		ask(ctx, cp, *question, *showDash, *explain)
 		return
 	}
 
@@ -97,7 +113,7 @@ func main() {
 		case line == "audit":
 			showAudit(cp)
 		default:
-			lastAnswer = ask(ctx, cp, line, *showDash)
+			lastAnswer = ask(ctx, cp, line, *showDash, *explain)
 		}
 	}
 }
@@ -168,10 +184,10 @@ func firstSentence(s string) string {
 	return s
 }
 
-func ask(ctx context.Context, cp *core.Copilot, q string, showDash bool) *core.Answer {
+func ask(ctx context.Context, cp *core.Copilot, q string, showDash, explain bool) *core.Answer {
 	ans, err := cp.Ask(ctx, q)
 	if err != nil {
-		log.Printf("ask: %v", err)
+		logger.Error("ask failed", "err", err)
 		return nil
 	}
 	fmt.Print(core.RenderAnswer(ans))
@@ -181,9 +197,17 @@ func ask(ctx context.Context, cp *core.Copilot, q string, showDash bool) *core.A
 			end := time.UnixMilli(maxT)
 			out, err := cp.Renderer().Render(ctx, ans.Dashboard, end, 30*time.Minute, time.Minute, 60)
 			if err != nil {
-				log.Printf("dashboard: %v", err)
+				logger.Error("dashboard render failed", "err", err, "trace_id", ans.TraceID)
 			} else {
 				fmt.Println(out)
+			}
+		}
+	}
+	if explain {
+		if st := cp.Tracer().Store(); st != nil && ans.TraceID != "" {
+			if td, ok := st.Get(ans.TraceID); ok {
+				fmt.Println("\n-- trace --")
+				fmt.Print(obs.FormatTrace(td))
 			}
 		}
 	}

@@ -22,7 +22,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,44 +50,52 @@ func main() {
 	stateDir := flag.String("state", "", "directory for persistent state (TSDB snapshot, feedback issues); empty disables persistence")
 	selfScrape := flag.Bool("selfscrape", true, "append the server's own dio_* metrics into the TSDB so the copilot can answer questions about itself")
 	scrapeInterval := flag.Duration("selfscrape-interval", 15*time.Second, "self-scrape period")
+	debug := flag.Bool("debug", false, "serve net/http/pprof under /debug/pprof/")
+	traceCapacity := flag.Int("trace-capacity", 256, "request traces retained in memory (0 disables capture)")
+	traceSample := flag.Int("trace-sample", 1, "capture one in N requests (1 = every request; explain always captures)")
+	traceSlow := flag.Duration("trace-slow", time.Second, "requests at least this long get preferential trace retention")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "dio-server: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("app", "dio-server")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	cat := catalog.Generate()
 	var db *tsdb.DB
 	snapshotPath := ""
 	if *stateDir != "" {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
-			logger.Fatalf("state dir: %v", err)
+			fatal("state dir", err)
 		}
 		snapshotPath = filepath.Join(*stateDir, "tsdb.snapshot")
 		if f, err := os.Open(snapshotPath); err == nil {
 			loaded, lerr := tsdb.LoadSnapshot(f)
 			f.Close()
 			if lerr != nil {
-				logger.Fatalf("loading snapshot: %v", lerr)
+				fatal("loading snapshot", lerr)
 			}
 			db = loaded
-			logger.Printf("restored TSDB snapshot: %d series, %d samples", db.NumSeries(), db.NumSamples())
+			logger.Info("restored TSDB snapshot", "series", db.NumSeries(), "samples", db.NumSamples())
 		}
 	}
 	if db == nil {
-		logger.Printf("generating catalog and simulating operator workload (%s)…", *duration)
+		logger.Info("generating catalog and simulating operator workload", "duration", *duration)
 		db = tsdb.New()
 		cfg := fivegsim.DefaultConfig()
 		cfg.Duration = *duration
 		cfg.Seed = *seed
 		rep, err := fivegsim.Populate(db, cat, cfg)
 		if err != nil {
-			logger.Fatalf("populating TSDB: %v", err)
+			fatal("populating TSDB", err)
 		}
-		logger.Print(rep)
+		logger.Info(fmt.Sprint(rep))
 		if snapshotPath != "" {
 			if err := saveSnapshot(db, snapshotPath); err != nil {
-				logger.Fatalf("saving snapshot: %v", err)
+				fatal("saving snapshot", err)
 			}
-			logger.Printf("saved TSDB snapshot to %s", snapshotPath)
+			logger.Info("saved TSDB snapshot", "path", snapshotPath)
 		}
 	}
 
@@ -94,17 +103,23 @@ func main() {
 	// the copilot trains its retriever, so questions about the copilot
 	// itself resolve like any operator question.
 	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
 	if n := cat.AddSelfMetrics(); n > 0 {
-		logger.Printf("registered %d dio_* self-metrics in the catalog", n)
+		logger.Info("registered dio_* self-metrics in the catalog", "count", n)
 	}
 
 	model, err := llm.New(*modelName)
 	if err != nil {
-		logger.Fatalf("model: %v", err)
+		fatal("model", err)
 	}
 	cp, err := core.New(core.Config{Catalog: cat, TSDB: db, Model: model, Metrics: reg})
 	if err != nil {
-		logger.Fatalf("copilot: %v", err)
+		fatal("copilot", err)
+	}
+	if *traceCapacity > 0 {
+		cp.Tracer().EnableCapture(obs.NewTraceStore(*traceCapacity, *traceSlow), *traceSample)
+		logger.Info("request-trace capture enabled",
+			"capacity", *traceCapacity, "sample_every", *traceSample, "slow_threshold", *traceSlow)
 	}
 
 	tracker := feedback.NewTracker(splitComma(*experts), nil)
@@ -115,18 +130,26 @@ func main() {
 			loaded, lerr := feedback.Load(f, nil)
 			f.Close()
 			if lerr != nil {
-				logger.Fatalf("loading issues: %v", lerr)
+				fatal("loading issues", lerr)
 			}
 			tracker = loaded
-			logger.Printf("restored %d feedback issues", len(tracker.List(-1)))
+			logger.Info("restored feedback issues", "count", len(tracker.List(-1)))
 		}
 	}
 	feedback.WireCopilot(tracker, cp)
 	tracker.Instrument(reg)
 
+	apiOpts := []httpapi.Option{httpapi.WithMetrics(reg)}
+	if *traceCapacity > 0 {
+		apiOpts = append(apiOpts, httpapi.WithTracing(cp.Tracer()))
+	}
+	if *debug {
+		apiOpts = append(apiOpts, httpapi.WithPprof())
+		logger.Info("pprof enabled at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(cp, tracker, logger, httpapi.WithMetrics(reg)),
+		Handler:           httpapi.New(cp, tracker, logger, apiOpts...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -138,7 +161,7 @@ func main() {
 	if *selfScrape {
 		scraper := obs.NewSelfScraper(reg, db, *scrapeInterval, logger)
 		go scraper.Run(scrapeCtx)
-		logger.Printf("self-scraping dio_* metrics every %s", *scrapeInterval)
+		logger.Info("self-scraping dio_* metrics", "interval", *scrapeInterval)
 	}
 
 	// Graceful shutdown on SIGINT/SIGTERM.
@@ -147,27 +170,27 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		<-sig
-		logger.Print("shutting down…")
+		logger.Info("shutting down")
 		stopScrape()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			logger.Printf("shutdown: %v", err)
+			logger.Error("shutdown failed", "err", err)
 		}
 		if issuesPath != "" {
 			if err := saveIssues(tracker, issuesPath); err != nil {
-				logger.Printf("saving issues: %v", err)
+				logger.Error("saving issues failed", "err", err)
 			} else {
-				logger.Printf("saved feedback issues to %s", issuesPath)
+				logger.Info("saved feedback issues", "path", issuesPath)
 			}
 		}
 		close(done)
 	}()
 
-	logger.Printf("listening on %s (model %s, %d metrics, %d series)",
-		*addr, model.Name(), len(cat.Metrics), db.NumSeries())
+	logger.Info("listening", "addr", *addr, "model", model.Name(),
+		"metrics", len(cat.Metrics), "series", db.NumSeries())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Fatalf("serve: %v", err)
+		fatal("serve", err)
 	}
 	<-done
 }

@@ -61,6 +61,26 @@ var selfMetricDefs = []selfMetricDef{
 	{name: "dio_feedback_proposals", typ: Gauge,
 		desc: "The number of community contribution proposals recorded by the DIO feedback tracker."},
 
+	// Request-scoped tracing (internal/obs).
+	{name: "dio_traces_captured_total", typ: Counter,
+		desc: "The number of request-scoped traces the DIO copilot has captured into its in-memory trace store (browsable at /debug/traces)."},
+
+	// Go runtime telemetry (internal/obs).
+	{name: "dio_go_goroutines", typ: Gauge,
+		desc: "The number of goroutines currently live in the DIO copilot process."},
+	{name: "dio_go_heap_alloc_bytes", typ: Gauge, unit: "bytes",
+		desc: "Bytes of heap memory currently allocated by the DIO copilot process."},
+	{name: "dio_go_heap_objects", typ: Gauge,
+		desc: "The number of live heap objects in the DIO copilot process."},
+	{name: "dio_go_sys_bytes", typ: Gauge, unit: "bytes",
+		desc: "Total bytes of memory the DIO copilot process has obtained from the operating system."},
+	{name: "dio_go_gc_cycles", typ: Gauge,
+		desc: "Completed garbage-collection cycles in the DIO copilot process."},
+	{name: "dio_go_gc_pause_seconds", typ: Gauge, unit: "seconds",
+		desc: "Cumulative stop-the-world garbage-collection pause time of the DIO copilot process."},
+	{name: "dio_process_uptime_seconds", typ: Gauge, unit: "seconds",
+		desc: "Seconds since the DIO copilot process started."},
+
 	// Self-scrape loop (internal/obs).
 	{name: "dio_selfscrape_scrapes_total", typ: Counter,
 		desc: "The number of self-scrape passes the DIO copilot has run over its own metrics registry."},

@@ -78,6 +78,10 @@ type Answer struct {
 	// Usage/CostCents aggregate the model calls of this answer.
 	Usage     llm.Usage
 	CostCents float64
+	// TraceID identifies the captured request-scoped trace of this answer
+	// ("" when trace capture is off or the request was not sampled); the
+	// full span tree is retrievable at /debug/traces/{id}.
+	TraceID string
 }
 
 // Copilot is the assembled DIO pipeline. It is safe for concurrent use.
@@ -195,6 +199,16 @@ func (c *Copilot) Executor() *sandbox.Executor { return c.exec }
 // evaluation; instrumented when the copilot has a metrics registry).
 func (c *Copilot) Renderer() *dashboard.Renderer { return c.renderer }
 
+// Tracer returns the pipeline tracer (nil when the copilot was built
+// without a metrics registry). Callers enable request-scoped capture with
+// Tracer().EnableCapture.
+func (c *Copilot) Tracer() *obs.Tracer {
+	if c.metrics == nil {
+		return nil
+	}
+	return c.metrics.tracer
+}
+
 // Catalog returns the domain-specific database.
 func (c *Copilot) Catalog() *catalog.Database { return c.db }
 
@@ -238,12 +252,22 @@ func (c *Copilot) promptBudget() int {
 	return c.model.ContextWindow() - c.opts.MaxOutputTokens
 }
 
-// Ask runs the full pipeline for one question.
+// Ask runs the full pipeline for one question. When the context carries no
+// trace (a direct library or CLI call), a capture-enabled copilot starts
+// its own, so every sampled ask has a retrievable span tree; requests
+// arriving through httpapi reuse the server-assigned trace instead.
 func (c *Copilot) Ask(ctx context.Context, question string) (*Answer, error) {
 	if c.metrics == nil {
 		return c.ask(ctx, question)
 	}
 	ctx = obs.WithTracer(ctx, c.metrics.tracer)
+	root := obs.SpanFrom(ctx)
+	owned := false
+	if !root.Recording() {
+		ctx, root = c.metrics.tracer.StartTrace(ctx, "ask")
+		owned = true
+	}
+	root.SetAttr("question", question)
 	start := time.Now()
 	a, err := c.ask(ctx, question)
 	c.metrics.askDur.Observe(time.Since(start).Seconds())
@@ -251,24 +275,58 @@ func (c *Copilot) Ask(ctx context.Context, question string) (*Answer, error) {
 	switch {
 	case err != nil:
 		outcome = "error"
+		root.SetError(err)
 	case a.ExecErr != nil:
 		outcome = "exec_error"
 	}
 	c.metrics.asks.With(outcome).Inc()
+	root.SetAttr("outcome", outcome)
+	if a != nil {
+		root.SetAttr("cost_cents", a.CostCents)
+	}
+	if owned {
+		root.End()
+	}
 	return a, err
 }
 
+// scoredRef is the wire shape of one retrieved-metric trace attribute.
+type scoredRef struct {
+	Metric string  `json:"metric"`
+	Score  float64 `json:"score"`
+}
+
 // ask is the uninstrumented pipeline; the stage spans inside are no-ops
-// unless Ask put a tracer on the context.
+// unless Ask put a tracer (and, for capture, a trace root) on the context.
+// Each stage span is started from the pipeline root context so the stages
+// are siblings under the request span, and nested work (sandbox execution,
+// query evaluation) receives the stage's derived context so its events
+// attach to the right span.
 func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 	if strings.TrimSpace(question) == "" {
 		return nil, fmt.Errorf("core: empty question")
 	}
-	a := &Answer{Question: question}
+	a := &Answer{Question: question, TraceID: obs.SpanFrom(ctx).TraceID()}
 
 	// 1. Context extraction: top-K semantically closest text samples.
-	ctx, sp := obs.StartSpan(ctx, "retrieve")
-	a.Context = c.retriever.Retrieve(question, c.opts.TopK)
+	_, sp := obs.StartSpan(ctx, "retrieve")
+	scored := c.retriever.RetrieveScored(question, c.opts.TopK)
+	a.Context = make([]llm.ContextDoc, len(scored))
+	for i, s := range scored {
+		a.Context[i] = s.Doc
+	}
+	if sp.Recording() {
+		top := scored
+		if len(top) > 10 {
+			top = top[:10]
+		}
+		refs := make([]scoredRef, len(top))
+		for i, s := range top {
+			refs[i] = scoredRef{Metric: s.Doc.ID, Score: s.Score}
+		}
+		sp.SetAttr("retrieved.count", len(scored))
+		sp.SetAttr("retrieved.metrics", refs)
+	}
 	sp.End()
 
 	builder := &llm.Builder{
@@ -280,17 +338,29 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 	// Descriptions are clipped to their leading tokens in the prompt —
 	// enough to disambiguate, while keeping per-query token cost near the
 	// paper's (§4.2.5).
-	ctx, sp = obs.StartSpan(ctx, "prompt-build")
+	_, sp = obs.StartSpan(ctx, "prompt-build")
 	clipped := make([]llm.ContextDoc, len(a.Context))
 	for i, d := range a.Context {
 		clipped[i] = llm.ContextDoc{ID: d.ID, Text: llm.TruncateToTokens(d.Text, 24)}
 	}
 	selPrompt := builder.Build(clipped, nil, question)
+	if sp.Recording() {
+		sp.SetAttr("prompt.context_docs", len(selPrompt.Context))
+		sp.SetAttr("prompt.tokens", selPrompt.Tokens())
+	}
 	sp.End()
-	ctx, sp = obs.StartSpan(ctx, "llm")
+	_, sp = obs.StartSpan(ctx, "llm")
 	selResp, err := c.model.Complete(llm.Request{
 		Kind: llm.KindSelectMetrics, Prompt: selPrompt, Temperature: c.opts.Temperature,
 	})
+	if sp.Recording() {
+		sp.SetAttr("llm.kind", "select_metrics")
+		sp.SetAttr("llm.model", c.model.Name())
+		sp.SetAttr("llm.prompt_tokens", selResp.Usage.PromptTokens)
+		sp.SetAttr("llm.completion_tokens", selResp.Usage.CompletionTokens)
+		sp.SetAttr("llm.selected_metrics", selResp.Metrics)
+	}
+	sp.SetError(err)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: metric selection: %w", err)
@@ -299,7 +369,7 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 	a.Task = selResp.Task
 
 	// 3. Few-shot code generation over the selected metrics.
-	ctx, sp = obs.StartSpan(ctx, "prompt-build")
+	_, sp = obs.StartSpan(ctx, "prompt-build")
 	selDocs := make([]llm.ContextDoc, 0, len(selResp.Metrics))
 	for _, name := range selResp.Metrics {
 		if d, ok := c.retriever.Doc(name); ok {
@@ -309,13 +379,26 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 		}
 	}
 	genPrompt := builder.Build(selDocs, c.fewshot, question)
+	if sp.Recording() {
+		sp.SetAttr("prompt.context_docs", len(genPrompt.Context))
+		sp.SetAttr("prompt.fewshot", len(genPrompt.Examples))
+		sp.SetAttr("prompt.tokens", genPrompt.Tokens())
+	}
 	sp.End()
-	ctx, sp = obs.StartSpan(ctx, "llm")
+	_, sp = obs.StartSpan(ctx, "llm")
 	genResp, err := c.model.Complete(llm.Request{
 		Kind: llm.KindGenerateQuery, Prompt: genPrompt,
 		Metrics: selResp.Metrics, Task: selResp.Task,
 		Temperature: c.opts.Temperature,
 	})
+	if sp.Recording() {
+		sp.SetAttr("llm.kind", "generate_query")
+		sp.SetAttr("llm.model", c.model.Name())
+		sp.SetAttr("llm.prompt_tokens", genResp.Usage.PromptTokens)
+		sp.SetAttr("llm.completion_tokens", genResp.Usage.CompletionTokens)
+		sp.SetAttr("llm.query", genResp.Query)
+	}
+	sp.SetError(err)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: code generation: %w", err)
@@ -341,8 +424,9 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 		a.ExecErr = fmt.Errorf("core: the model produced no query")
 		a.ValueText = selResp.Text
 	} else {
-		ctx, sp = obs.StartSpan(ctx, "sandbox-exec")
-		v, execErr := c.exec.Execute(ctx, a.Query, c.evalTimeFor(genResp.Metrics))
+		sctx, sp := obs.StartSpan(ctx, "sandbox-exec")
+		v, execErr := c.exec.Execute(sctx, a.Query, c.evalTimeFor(genResp.Metrics))
+		sp.SetError(execErr)
 		sp.End()
 		if execErr != nil {
 			a.ExecErr = execErr
@@ -377,6 +461,10 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 	if len(known) > 0 {
 		_, sp = obs.StartSpan(ctx, "dashboard")
 		a.Dashboard = dashboard.ForMetrics("DIO: "+question, known)
+		if sp.Recording() {
+			sp.SetAttr("dashboard.title", a.Dashboard.Title)
+			sp.SetAttr("dashboard.panels", len(a.Dashboard.Panels))
+		}
 		sp.End()
 	}
 	return a, nil

@@ -62,18 +62,37 @@ func (r *Retriever) Doc(id string) (catalog.Document, bool) {
 	return d, ok
 }
 
-// Retrieve returns the top-k documents semantically closest to the query,
-// as prompt-ready context docs, best first.
-func (r *Retriever) Retrieve(query string, k int) []llm.ContextDoc {
+// ScoredDoc is one retrieved context document with its cosine-similarity
+// score (trace attributes surface these so an explain view shows *why*
+// each document entered the prompt).
+type ScoredDoc struct {
+	Doc   llm.ContextDoc
+	Score float64
+}
+
+// RetrieveScored returns the top-k documents semantically closest to the
+// query with their similarity scores, best first.
+func (r *Retriever) RetrieveScored(query string, k int) []ScoredDoc {
 	qv := r.model.Embed(query)
 	hits := r.index.Search(qv, k)
-	out := make([]llm.ContextDoc, 0, len(hits))
+	out := make([]ScoredDoc, 0, len(hits))
 	for _, h := range hits {
 		d, ok := r.docs[h.ID]
 		if !ok {
 			continue
 		}
-		out = append(out, llm.ContextDoc{ID: d.ID, Text: d.Text})
+		out = append(out, ScoredDoc{Doc: llm.ContextDoc{ID: d.ID, Text: d.Text}, Score: h.Score})
+	}
+	return out
+}
+
+// Retrieve returns the top-k documents semantically closest to the query,
+// as prompt-ready context docs, best first.
+func (r *Retriever) Retrieve(query string, k int) []llm.ContextDoc {
+	scored := r.RetrieveScored(query, k)
+	out := make([]llm.ContextDoc, 0, len(scored))
+	for _, s := range scored {
+		out = append(out, s.Doc)
 	}
 	return out
 }

@@ -91,9 +91,15 @@ func (r *Renderer) Render(ctx context.Context, d *Dashboard, end time.Time, wind
 				slots[i].err = ctx.Err()
 				return
 			}
+			// Each panel gets its own child span so the sandbox's
+			// query/outcome attributes land per-panel, not on a shared
+			// parent, and panel timings show up in the trace tree.
+			pctx, psp := obs.StartSpan(ctx, "panel")
+			psp.SetAttr("panel.title", p.Title)
 			started := time.Now()
-			m, err := r.exec.ExecuteRange(ctx, p.Query, end.Add(-window), end, step)
+			m, err := r.exec.ExecuteRange(pctx, p.Query, end.Add(-window), end, step)
 			r.observePanel(err, time.Since(started))
+			psp.End()
 			if err != nil {
 				slots[i].err = err
 				cancel() // stop sibling panels; their errors are cascades

@@ -38,5 +38,9 @@ func OpenFromAnswer(t *Tracker, a *core.Answer) *Issue {
 	for _, d := range a.Context {
 		ids = append(ids, d.ID)
 	}
-	return t.Open(a.Question, a.ValueText, a.Query, ids)
+	issue := t.Open(a.Question, a.ValueText, a.Query, ids)
+	if a.TraceID != "" {
+		t.SetTraceID(issue.ID, a.TraceID)
+	}
+	return issue
 }

@@ -62,6 +62,10 @@ type Issue struct {
 	Query    string    `json:"query"`
 	State    State     `json:"state"`
 	OpenedAt time.Time `json:"opened_at"`
+	// TraceID links the issue to the captured request trace of the answer
+	// it was filed against (resolvable at /debug/traces/{id} while
+	// retained; empty when the answer was untraced).
+	TraceID string `json:"trace_id,omitempty"`
 	// Expert and Resolution record the attributed contribution (§3.4:
 	// attribution "ensures that experts receive recognition ... and
 	// creates accountability").
@@ -136,6 +140,16 @@ func (t *Tracker) Open(question, response, query string, context []string) *Issu
 	t.nextID++
 	t.issues[is.ID] = is
 	return is
+}
+
+// SetTraceID links an issue to the captured request trace of the answer
+// it was filed against.
+func (t *Tracker) SetTraceID(id int, traceID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if is, ok := t.issues[id]; ok {
+		is.TraceID = traceID
+	}
 }
 
 // Get returns the issue with the given id.

@@ -7,8 +7,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -21,12 +22,17 @@ import (
 	"dio/internal/sandbox"
 )
 
+// TraceIDHeader carries the request trace ID in both directions: clients
+// may supply one to adopt, and every traced response returns the ID that
+// /debug/traces/{id} resolves.
+const TraceIDHeader = "X-DIO-Trace-ID"
+
 // Server wires the copilot, executor and feedback tracker into an
 // http.Handler.
 type Server struct {
 	copilot *core.Copilot
 	tracker *feedback.Tracker
-	logger  *log.Logger
+	logger  *slog.Logger
 	mux     *http.ServeMux
 
 	// registry is the self-observability registry served at GET /metrics
@@ -34,6 +40,11 @@ type Server struct {
 	registry *obs.Registry
 	requests *obs.CounterVec   // dio_http_requests_total{route,code}
 	duration *obs.HistogramVec // dio_http_request_duration_seconds{route}
+
+	// tracer/traces enable request-scoped capture and the /debug/traces
+	// endpoints (nil when tracing is off).
+	tracer *obs.Tracer
+	traces *obs.TraceStore
 }
 
 // Option configures optional server features.
@@ -52,14 +63,38 @@ func WithMetrics(reg *obs.Registry) Option {
 	}
 }
 
+// WithTracing attaches a capture-enabled tracer: requests are traced
+// (subject to the tracer's sampling), trace IDs propagate through the
+// X-DIO-Trace-ID header, and GET /debug/traces[/{id}] serve the store.
+func WithTracing(tr *obs.Tracer) Option {
+	return func(s *Server) {
+		s.tracer = tr
+		s.traces = tr.Store()
+	}
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ (behind the server's
+// -debug flag; not meant for unauthenticated production exposure).
+func WithPprof() Option {
+	return func(s *Server) {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
 // New assembles the server. logger may be nil to disable request logs.
-func New(cp *core.Copilot, tracker *feedback.Tracker, logger *log.Logger, opts ...Option) *Server {
+func New(cp *core.Copilot, tracker *feedback.Tracker, logger *slog.Logger, opts ...Option) *Server {
 	s := &Server{copilot: cp, tracker: tracker, logger: logger, mux: http.NewServeMux()}
 	// Audit every query the service executes (§5.4 safety).
 	if cp.Executor().Audit() == nil {
 		cp.Executor().SetAudit(sandbox.NewAuditLog(4096, nil))
 	}
 	s.mux.HandleFunc("GET /api/v1/audit", s.handleAudit)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleExposition)
 	s.mux.HandleFunc("POST /api/v1/ask", s.handleAsk)
@@ -89,28 +124,116 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// traceable reports whether requests on path get a request-scoped trace.
+// Introspection and exposition endpoints are excluded: tracing the trace
+// reader would fill the store with its own reads.
+func traceable(path string) bool {
+	return path != "/metrics" && !strings.HasPrefix(path, "/debug/")
+}
+
 // ServeHTTP implements http.Handler: it routes through the mux wrapped in
-// the status/duration middleware, logs the completed request, and counts
-// it per route pattern.
+// the tracing/status/duration middleware, logs the completed request, and
+// counts it per route pattern.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	// Resolve the route pattern before serving so metrics label by the
-	// registered pattern ("POST /api/v1/ask"), not the raw (unbounded-
-	// cardinality) URL path.
+	// Resolve the route pattern before serving so metrics and trace roots
+	// label by the registered pattern ("POST /api/v1/ask"), not the raw
+	// (unbounded-cardinality) URL path.
 	_, route := s.mux.Handler(r)
 	if route == "" {
 		route = "unmatched"
+	}
+	var root *obs.Span
+	if s.tracer != nil && traceable(r.URL.Path) {
+		var opts []obs.TraceOption
+		if id := r.Header.Get(TraceIDHeader); id != "" {
+			opts = append(opts, obs.WithTraceID(id))
+		}
+		ctx, sp := s.tracer.StartTrace(r.Context(), route, opts...)
+		if sp.Recording() {
+			root = sp
+			sp.SetAttr("http.method", r.Method)
+			sp.SetAttr("http.path", r.URL.Path)
+			w.Header().Set(TraceIDHeader, sp.TraceID())
+			r = r.WithContext(ctx)
+		}
 	}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	started := time.Now()
 	s.mux.ServeHTTP(sw, r)
 	elapsed := time.Since(started)
+	root.SetAttr("http.status", sw.status)
+	if sw.status >= http.StatusInternalServerError {
+		root.SetError(fmt.Errorf("HTTP %d", sw.status))
+	}
+	root.End()
 	if s.logger != nil {
-		s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, elapsed.Round(time.Millisecond))
+		args := []any{"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "duration", elapsed.Round(time.Millisecond).String()}
+		if id := root.TraceID(); id != "" {
+			args = append(args, "trace_id", id)
+		}
+		s.logger.Info("request", args...)
 	}
 	if s.requests != nil {
 		s.requests.With(route, strconv.Itoa(sw.status)).Inc()
 		s.duration.With(route).Observe(elapsed.Seconds())
 	}
+}
+
+// handleTraceList serves GET /debug/traces: recent captured traces, newest
+// first. ?filter=recent|slow|errored|notable selects the view, ?limit=N
+// bounds it.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		s.writeErr(w, http.StatusNotImplemented, errors.New("trace capture is not enabled"))
+		return
+	}
+	limit := 0
+	if lv := r.URL.Query().Get("limit"); lv != "" {
+		n, err := strconv.Atoi(lv)
+		if err != nil || n < 0 {
+			s.writeErr(w, http.StatusBadRequest, errors.New("bad limit"))
+			return
+		}
+		limit = n
+	}
+	list := s.traces.List(r.URL.Query().Get("filter"), limit)
+	if list == nil {
+		list = []obs.TraceSummary{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "success", "traces": list})
+}
+
+// traceDetail is the GET /debug/traces/{id} wire shape: the trace identity
+// plus its span tree.
+type traceDetail struct {
+	Status     string        `json:"status"`
+	TraceID    string        `json:"trace_id"`
+	Name       string        `json:"name"`
+	Start      time.Time     `json:"start"`
+	DurationMS float64       `json:"duration_ms"`
+	Error      string        `json:"error,omitempty"`
+	Errored    bool          `json:"errored"`
+	Spans      int           `json:"spans"`
+	Tree       *obs.SpanTree `json:"tree"`
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		s.writeErr(w, http.StatusNotImplemented, errors.New("trace capture is not enabled"))
+		return
+	}
+	id := r.PathValue("id")
+	td, ok := s.traces.Get(id)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown trace %q", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, traceDetail{
+		Status: "success", TraceID: td.TraceID, Name: td.Name, Start: td.Start,
+		DurationMS: td.DurationMS, Error: td.Error, Errored: td.Errored,
+		Spans: len(td.Spans), Tree: td.Tree(),
+	})
 }
 
 // handleExposition serves the Prometheus text exposition of the attached
@@ -122,7 +245,7 @@ func (s *Server) handleExposition(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", obs.TextContentType)
 	if err := s.registry.FormatText(w); err != nil && s.logger != nil {
-		s.logger.Printf("metrics exposition: %v", err)
+		s.logger.Error("metrics exposition failed", "err", err)
 	}
 }
 
@@ -140,7 +263,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil && s.logger != nil {
-		s.logger.Printf("writeJSON: encoding %T response failed: %v", v, err)
+		s.logger.Error("writeJSON encoding failed", "type", fmt.Sprintf("%T", v), "err", err)
 	}
 }
 
@@ -152,9 +275,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// askRequest is the POST /api/v1/ask body.
+// askRequest is the POST /api/v1/ask body. Explain forces trace capture
+// for this request (bypassing sampling) so the returned trace_id is
+// guaranteed to resolve at /debug/traces/{id}.
 type askRequest struct {
 	Question string `json:"question"`
+	Explain  bool   `json:"explain,omitempty"`
 }
 
 // askResponse mirrors core.Answer in wire form.
@@ -168,6 +294,7 @@ type askResponse struct {
 	ExecError string               `json:"exec_error,omitempty"`
 	Dashboard *dashboard.Dashboard `json:"dashboard,omitempty"`
 	CostCents float64              `json:"cost_cents"`
+	TraceID   string               `json:"trace_id,omitempty"`
 }
 
 type askMetric struct {
@@ -185,15 +312,30 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, errors.New("question is required"))
 		return
 	}
-	ans, err := s.copilot.Ask(r.Context(), req.Question)
+	ctx := r.Context()
+	// The middleware starts traces before the body is readable, so an
+	// explain request that sampling skipped starts its own forced trace
+	// here (forced traces also get notable retention).
+	if req.Explain && s.tracer != nil && !obs.SpanFrom(ctx).Recording() {
+		var root *obs.Span
+		ctx, root = s.tracer.StartTrace(ctx, "POST /api/v1/ask", obs.Forced())
+		if root.Recording() {
+			root.SetAttr("http.method", r.Method)
+			root.SetAttr("http.path", r.URL.Path)
+			w.Header().Set(TraceIDHeader, root.TraceID())
+			defer root.End()
+		}
+	}
+	ans, err := s.copilot.Ask(ctx, req.Question)
 	if err != nil {
+		obs.SpanFrom(ctx).SetError(err)
 		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	resp := askResponse{
 		Status: "success", Question: ans.Question, Task: ans.Task.String(),
 		Query: ans.Query, Answer: ans.ValueText, Dashboard: ans.Dashboard,
-		CostCents: ans.CostCents,
+		CostCents: ans.CostCents, TraceID: ans.TraceID,
 	}
 	if ans.ExecErr != nil {
 		resp.ExecError = ans.ExecErr.Error()

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches one pass over the Go runtime's telemetry so that a
+// single registry Gather (which evaluates every gauge callback) reads the
+// runtime once, not once per metric. ReadMemStats briefly stops the world,
+// so the cache also bounds how often scraping can do that.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	minAge  time.Duration
+	clock   func() time.Time
+	last    time.Time
+	samples []metrics.Sample
+	mem     runtime.MemStats
+}
+
+// refresh re-reads the runtime if the cache is older than minAge, then
+// returns the cached state under the lock via fn.
+func (rs *runtimeSampler) read(fn func(*runtimeSampler)) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if now := rs.clock(); rs.last.IsZero() || now.Sub(rs.last) >= rs.minAge {
+		metrics.Read(rs.samples)
+		runtime.ReadMemStats(&rs.mem)
+		rs.last = now
+	}
+	fn(rs)
+}
+
+// sampleValue returns the i-th runtime/metrics sample as a float64.
+func sampleValue(s metrics.Sample) float64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// RegisterRuntimeMetrics registers the Go runtime telemetry collector on
+// reg: goroutine count, heap size and object count, GC pause totals and
+// cycle counts, plus process uptime — all as gather-time gauges fed from
+// runtime/metrics and runtime.ReadMemStats. Fed through the registry they
+// flow into the self-scrape loop and become dio_go_* series the copilot
+// can be asked about.
+func RegisterRuntimeMetrics(reg *Registry) {
+	start := time.Now()
+	rs := &runtimeSampler{
+		minAge: time.Second,
+		clock:  time.Now,
+		samples: []metrics.Sample{
+			{Name: "/sched/goroutines:goroutines"},
+			{Name: "/gc/cycles/total:gc-cycles"},
+		},
+	}
+	gauge := func(name, help, unit string, fn func(*runtimeSampler) float64) {
+		reg.GaugeFunc(name, help, unit, func() float64 {
+			var v float64
+			rs.read(func(rs *runtimeSampler) { v = fn(rs) })
+			return v
+		})
+	}
+	gauge("dio_go_goroutines", "Live goroutines in the DIO process.", "",
+		func(rs *runtimeSampler) float64 { return sampleValue(rs.samples[0]) })
+	gauge("dio_go_gc_cycles", "Completed GC cycles since process start.", "",
+		func(rs *runtimeSampler) float64 { return sampleValue(rs.samples[1]) })
+	gauge("dio_go_heap_alloc_bytes", "Bytes of allocated heap objects.", "bytes",
+		func(rs *runtimeSampler) float64 { return float64(rs.mem.HeapAlloc) })
+	gauge("dio_go_heap_objects", "Live heap objects.", "",
+		func(rs *runtimeSampler) float64 { return float64(rs.mem.HeapObjects) })
+	gauge("dio_go_sys_bytes", "Total bytes obtained from the OS.", "bytes",
+		func(rs *runtimeSampler) float64 { return float64(rs.mem.Sys) })
+	gauge("dio_go_gc_pause_seconds", "Cumulative stop-the-world GC pause time.", "seconds",
+		func(rs *runtimeSampler) float64 { return float64(rs.mem.PauseTotalNs) / 1e9 })
+	reg.GaugeFunc("dio_process_uptime_seconds", "Seconds since the DIO process started.", "seconds",
+		func() float64 { return time.Since(start).Seconds() })
+}

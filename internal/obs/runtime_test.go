@@ -1,0 +1,32 @@
+package obs
+
+import "testing"
+
+// TestRuntimeMetrics checks the runtime collector registers live gauges
+// with plausible values (goroutines and heap are never zero in a running
+// test process).
+func TestRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	got := map[string]float64{}
+	for _, fam := range reg.Gather() {
+		for _, s := range fam.Samples {
+			got[fam.Name] = s.Value
+		}
+	}
+	for _, name := range []string{
+		"dio_go_goroutines", "dio_go_heap_alloc_bytes", "dio_go_heap_objects",
+		"dio_go_sys_bytes", "dio_go_gc_pause_seconds", "dio_go_gc_cycles",
+		"dio_process_uptime_seconds",
+	} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("runtime metric %s not registered", name)
+		}
+	}
+	if got["dio_go_goroutines"] < 1 {
+		t.Errorf("dio_go_goroutines = %v, want >= 1", got["dio_go_goroutines"])
+	}
+	if got["dio_go_heap_alloc_bytes"] <= 0 {
+		t.Errorf("dio_go_heap_alloc_bytes = %v, want > 0", got["dio_go_heap_alloc_bytes"])
+	}
+}

@@ -2,7 +2,7 @@ package obs
 
 import (
 	"context"
-	"log"
+	"log/slog"
 	"time"
 
 	"dio/internal/tsdb"
@@ -19,7 +19,7 @@ type SelfScraper struct {
 	reg      *Registry
 	db       *tsdb.DB
 	interval time.Duration
-	logger   *log.Logger
+	logger   *slog.Logger
 	clock    func() time.Time
 
 	// lastT forces strictly increasing scrape timestamps, matching the
@@ -33,7 +33,7 @@ type SelfScraper struct {
 
 // NewSelfScraper wires a scraper from reg into db. interval <= 0 defaults
 // to 15s; logger may be nil to disable error logs.
-func NewSelfScraper(reg *Registry, db *tsdb.DB, interval time.Duration, logger *log.Logger) *SelfScraper {
+func NewSelfScraper(reg *Registry, db *tsdb.DB, interval time.Duration, logger *slog.Logger) *SelfScraper {
 	if interval <= 0 {
 		interval = 15 * time.Second
 	}
@@ -72,7 +72,7 @@ func (s *SelfScraper) ScrapeOnce() (appended, failed int) {
 			if err := s.db.Append(tsdb.FromMap(m), t, smp.Value); err != nil {
 				failed++
 				if s.logger != nil {
-					s.logger.Printf("selfscrape: %v", err)
+					s.logger.Error("selfscrape append failed", "metric", m[tsdb.MetricNameLabel], "err", err)
 				}
 				continue
 			}

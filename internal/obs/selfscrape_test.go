@@ -1,10 +1,11 @@
-package obs
+package obs_test
 
 import (
 	"context"
 	"testing"
 	"time"
 
+	"dio/internal/obs"
 	"dio/internal/promql"
 	"dio/internal/tsdb"
 )
@@ -14,12 +15,12 @@ import (
 // the PromQL engine — including a histogram_quantile over the scraped
 // _bucket series.
 func TestSelfScrapeRoundTrip(t *testing.T) {
-	reg := NewRegistry()
+	reg := obs.NewRegistry()
 	db := tsdb.New()
-	s := NewSelfScraper(reg, db, time.Second, nil)
+	s := obs.NewSelfScraper(reg, db, time.Second, nil)
 	base := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
 	now := base
-	s.clock = func() time.Time { return now }
+	s.SetClock(func() time.Time { return now })
 
 	asks := reg.Counter("dio_ask_total", "Questions answered.", "")
 	lat := reg.Histogram("dio_ask_duration_seconds", "Ask latency.", "seconds", []float64{0.1, 0.5, 1, 5})
@@ -46,8 +47,8 @@ func TestSelfScrapeRoundTrip(t *testing.T) {
 	if vec[0].V != 4 {
 		t.Errorf("dio_ask_total = %v, want 4", vec[0].V)
 	}
-	if vec[0].Labels.Get("job") != SelfScrapeJobLabel {
-		t.Errorf("job label = %q, want %q", vec[0].Labels.Get("job"), SelfScrapeJobLabel)
+	if vec[0].Labels.Get("job") != obs.SelfScrapeJobLabel {
+		t.Errorf("job label = %q, want %q", vec[0].Labels.Get("job"), obs.SelfScrapeJobLabel)
 	}
 
 	// The scraped cumulative buckets answer quantile questions: every
@@ -67,13 +68,13 @@ func TestSelfScrapeRoundTrip(t *testing.T) {
 	}
 
 	// The scrape accounts for itself: counters lag one pass behind.
-	if got := s.scrapes.Value(); got != 4 {
+	if got := s.ScrapePasses(); got != 4 {
 		t.Errorf("scrapes counter = %v, want 4", got)
 	}
 
 	// Strictly increasing timestamps even with a frozen clock.
 	frozen := now
-	s.clock = func() time.Time { return frozen }
+	s.SetClock(func() time.Time { return frozen })
 	if _, failed := s.ScrapeOnce(); failed != 0 {
 		t.Fatalf("frozen-clock scrape: %d failed appends", failed)
 	}
@@ -84,9 +85,9 @@ func TestSelfScrapeRoundTrip(t *testing.T) {
 
 // TestSelfScraperRunStops checks the loop exits on context cancellation.
 func TestSelfScraperRunStops(t *testing.T) {
-	reg := NewRegistry()
+	reg := obs.NewRegistry()
 	reg.Counter("x_total", "", "").Inc()
-	s := NewSelfScraper(reg, tsdb.New(), time.Millisecond, nil)
+	s := obs.NewSelfScraper(reg, tsdb.New(), time.Millisecond, nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
 	go func() {

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"dio/internal/obs"
 	"dio/internal/tsdb"
 )
 
@@ -178,6 +179,7 @@ func (e *Engine) evalInstant(ctx context.Context, expr Expr, ts time.Time) (Valu
 	if e.hooks.OnSamples != nil {
 		e.hooks.OnSamples(ev.samples)
 	}
+	obs.SpanFrom(ctx).SetAttr("promql.samples_loaded", ev.samples)
 	return v, err
 }
 
@@ -216,11 +218,28 @@ func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.T
 			defer func() { e.hooks.OnRangeEval(sel.stats()) }()
 		}
 	}
+	// Trace attributes aggregate over the whole range: per-step attrs
+	// would rewrite the same key hundreds of times for long ranges.
+	totalSamples, steps := 0, 0
+	defer func() {
+		if sp := obs.SpanFrom(ctx); sp.Recording() {
+			sp.SetAttr("promql.samples_loaded", totalSamples)
+			sp.SetAttr("promql.steps", steps)
+			if sel != nil {
+				st := sel.stats()
+				sp.SetAttr("promql.selector_cache", map[string]int{
+					"hits": st.SelectorHits, "misses": st.SelectorMisses,
+				})
+			}
+		}
+	}()
 	acc := make(map[string]*MSeries)
 	var order []string
 	for t := start; !t.After(end); t = t.Add(step) {
 		ev := &evaluator{ctx: ctx, eng: e, ts: t.UnixMilli(), sel: sel}
 		v, err := ev.eval(expr)
+		steps++
+		totalSamples += ev.samples
 		if e.hooks.OnSamples != nil {
 			e.hooks.OnSamples(ev.samples)
 		}

@@ -196,6 +196,20 @@ func outcomeOf(err error) Outcome {
 	}
 }
 
+// annotate records the query verdict on the request trace span carried by
+// ctx (nil-safe: no-op on untraced paths).
+func annotate(ctx context.Context, query string, outcome Outcome, err error) {
+	sp := obs.SpanFrom(ctx)
+	if !sp.Recording() {
+		return
+	}
+	sp.SetAttr("promql.query", query)
+	sp.SetAttr("sandbox.outcome", string(outcome))
+	// A failed or rejected query errors the span so the trace earns
+	// preferential (notable) retention in the store.
+	sp.SetError(err)
+}
+
 // Execute parses, vets and evaluates query at ts.
 func (e *Executor) Execute(ctx context.Context, query string, ts time.Time) (promql.Value, error) {
 	started := time.Now()
@@ -204,6 +218,7 @@ func (e *Executor) Execute(ctx context.Context, query string, ts time.Time) (pro
 	outcome := outcomeOf(err)
 	e.audit.record(query, outcome, err, d)
 	e.observe(outcome, err, d)
+	annotate(ctx, query, outcome, err)
 	return v, err
 }
 
@@ -239,7 +254,9 @@ func (e *Executor) execute(ctx context.Context, query string, ts time.Time) (pro
 func (e *Executor) ExecuteRange(ctx context.Context, query string, start, end time.Time, step time.Duration) (promql.Matrix, error) {
 	started := time.Now()
 	m, err := e.executeRange(ctx, query, start, end, step)
-	e.observe(outcomeOf(err), err, time.Since(started))
+	outcome := outcomeOf(err)
+	e.observe(outcome, err, time.Since(started))
+	annotate(ctx, query, outcome, err)
 	return m, err
 }
 
