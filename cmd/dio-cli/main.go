@@ -138,7 +138,7 @@ func runQuery(ctx context.Context, cp *core.Copilot, q string) {
 func searchMetrics(cp *core.Copilot, q string) {
 	terms := strings.Fields(strings.ToLower(q))
 	shown := 0
-	for _, m := range cp.Catalog().Metrics {
+	for _, m := range cp.Catalog().MetricsSnapshot() {
 		hay := strings.ToLower(m.Name + " " + m.Description)
 		match := true
 		for _, term := range terms {

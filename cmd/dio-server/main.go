@@ -38,6 +38,7 @@ import (
 	"dio/internal/httpapi"
 	"dio/internal/llm"
 	"dio/internal/obs"
+	"dio/internal/servecache"
 	"dio/internal/tsdb"
 )
 
@@ -54,6 +55,10 @@ func main() {
 	traceCapacity := flag.Int("trace-capacity", 256, "request traces retained in memory (0 disables capture)")
 	traceSample := flag.Int("trace-sample", 1, "capture one in N requests (1 = every request; explain always captures)")
 	traceSlow := flag.Duration("trace-slow", time.Second, "requests at least this long get preferential trace retention")
+	cacheSize := flag.Int("cache-size", 4096, "answer-cache entries (0 disables the serving cache)")
+	cacheTTL := flag.Duration("cache-ttl", 30*time.Second, "answer freshness window: cached answers expire once the TSDB head advances past this bucket")
+	maxInflight := flag.Int("max-inflight", 64, "concurrent answer computations admitted (0 disables the gate)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "longest a request waits for an admission slot before 429")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("app", "dio-server")
@@ -142,6 +147,30 @@ func main() {
 	apiOpts := []httpapi.Option{httpapi.WithMetrics(reg)}
 	if *traceCapacity > 0 {
 		apiOpts = append(apiOpts, httpapi.WithTracing(cp.Tracer()))
+	}
+	// Serving-throughput layer: answer cache keyed by (question, catalog
+	// version, TSDB-head bucket) with singleflight, plus the admission
+	// gate bounding concurrent pipeline runs.
+	var front *servecache.Front[*core.Answer]
+	if *cacheSize > 0 {
+		front = servecache.NewFront(servecache.FrontConfig[*core.Answer]{
+			Size:    *cacheSize,
+			TTL:     *cacheTTL,
+			Version: cat.Version,
+			Head:    db.HeadTime,
+			Compute: cp.Ask,
+		})
+		front.Instrument(reg)
+		logger.Info("answer cache enabled", "size", *cacheSize, "ttl", *cacheTTL)
+	}
+	var gate *servecache.Gate
+	if *maxInflight > 0 {
+		gate = servecache.NewGate(*maxInflight, *queueWait)
+		gate.Instrument(reg)
+		logger.Info("admission gate enabled", "max_inflight", *maxInflight, "queue_wait", *queueWait)
+	}
+	if front != nil || gate != nil {
+		apiOpts = append(apiOpts, httpapi.WithServing(front, gate))
 	}
 	if *debug {
 		apiOpts = append(apiOpts, httpapi.WithPprof())

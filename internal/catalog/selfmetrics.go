@@ -117,7 +117,7 @@ func SelfMetrics() []*Metric {
 			},
 			&Metric{
 				Name: d.name + "_count", NF: "dio", Service: "self", Type: HistogramCount,
-				Labels: append([]string{"job"}, d.labels...),
+				Labels:      append([]string{"job"}, d.labels...),
 				Description: d.desc + " Histogram count counter. Self-observability metric exported by the DIO copilot itself.",
 			},
 		)
@@ -129,6 +129,8 @@ func SelfMetrics() []*Metric {
 // for names already present). Call before building the retriever index so
 // self-observability questions resolve like any operator question.
 func (db *Database) AddSelfMetrics() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	added := 0
 	for _, m := range SelfMetrics() {
 		if _, ok := db.byName[m.Name]; ok {
@@ -137,6 +139,9 @@ func (db *Database) AddSelfMetrics() int {
 		db.Metrics = append(db.Metrics, m)
 		db.byName[m.Name] = m
 		added++
+	}
+	if added > 0 {
+		db.version.Add(1)
 	}
 	return added
 }

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // MetricType classifies how a metric's samples behave.
@@ -132,14 +134,25 @@ type Document struct {
 	Function *FunctionDef
 }
 
-// Database is the assembled domain-specific database.
+// Database is the assembled domain-specific database. Construction-time
+// code (generators, vendor translators, simulators) may read the exported
+// slices directly; once the database serves live traffic alongside the
+// feedback loop, concurrent access must go through the methods, which
+// synchronise with runtime contributions. Published *Metric values are
+// immutable: contributions replace entries copy-on-write, so a reader
+// holding a pointer never observes a mutation.
 type Database struct {
 	Metrics   []*Metric
 	Functions []*FunctionDef
 
+	mu       sync.RWMutex
 	byName   map[string]*Metric
 	byProc   map[string][]*Metric
 	funcByID map[string]*FunctionDef
+
+	// version counts contributions. Serving-layer cache keys fold it in,
+	// so every expert contribution invalidates cached answers instantly.
+	version atomic.Uint64
 }
 
 // NewDatabase assembles a database from metrics and functions.
@@ -164,25 +177,38 @@ func NewDatabase(metrics []*Metric, functions []*FunctionDef) *Database {
 	return db
 }
 
+// Version returns the monotonic contribution counter. Serving-layer
+// caches key on it: any expert contribution bumps it, making every cached
+// answer derived from the old database unaddressable.
+func (db *Database) Version() uint64 { return db.version.Load() }
+
 // Lookup returns the metric with the given name.
 func (db *Database) Lookup(name string) (*Metric, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	m, ok := db.byName[name]
 	return m, ok
 }
 
 // LookupFunction returns the bespoke function with the given name.
 func (db *Database) LookupFunction(name string) (*FunctionDef, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	f, ok := db.funcByID[name]
 	return f, ok
 }
 
 // ProcedureMetrics returns the metrics of one procedure.
 func (db *Database) ProcedureMetrics(nf, service, proc string) []*Metric {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.byProc[nf+"/"+service+"/"+proc]
 }
 
 // MetricNames returns all metric names, sorted.
 func (db *Database) MetricNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.Metrics))
 	for _, m := range db.Metrics {
 		names = append(names, m.Name)
@@ -191,9 +217,26 @@ func (db *Database) MetricNames() []string {
 	return names
 }
 
+// MetricsSnapshot returns the current metric entries. The returned slice
+// is the caller's; the pointed-to metrics are immutable.
+func (db *Database) MetricsSnapshot() []*Metric {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]*Metric(nil), db.Metrics...)
+}
+
+// FunctionsSnapshot returns the current bespoke function definitions.
+func (db *Database) FunctionsSnapshot() []*FunctionDef {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]*FunctionDef(nil), db.Functions...)
+}
+
 // Documents segments the database into text samples: one per metric plus
 // one per bespoke function, the corpus the context extractor indexes.
 func (db *Database) Documents() []Document {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	docs := make([]Document, 0, len(db.Metrics)+len(db.Functions))
 	for _, m := range db.Metrics {
 		docs = append(docs, Document{ID: m.Name, Text: m.Doc(), Metric: m})
@@ -206,14 +249,22 @@ func (db *Database) Documents() []Document {
 
 // AddExpertMetricDoc appends (or overrides) expert-contributed
 // documentation for a metric, attributed to the expert (the feedback loop
-// of §3.4 grows the database through this).
+// of §3.4 grows the database through this). Existing entries are replaced
+// copy-on-write, so concurrent readers holding the old *Metric keep a
+// consistent view; the database version is bumped either way.
 func (db *Database) AddExpertMetricDoc(name, description, expert string) *Metric {
-	if m, ok := db.byName[name]; ok {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	defer db.version.Add(1)
+	if old, ok := db.byName[name]; ok {
 		// Expert notes lead the description: they carry the operator
 		// jargon that vendor text lacks, and retrieval and prompt
 		// clipping both weight the leading sentence.
-		m.Description = description + " (Expert note by " + expert + ".) " + m.Description
+		m := new(Metric)
+		*m = *old
+		m.Description = description + " (Expert note by " + expert + ".) " + old.Description
 		m.Expert = expert
+		db.replaceLocked(old, m)
 		return m
 	}
 	m := &Metric{Name: name, Description: description, Expert: expert, Type: Counter}
@@ -222,11 +273,41 @@ func (db *Database) AddExpertMetricDoc(name, description, expert string) *Metric
 	return m
 }
 
+// replaceLocked swaps old for m in every index. Callers must hold the
+// write lock.
+func (db *Database) replaceLocked(old, m *Metric) {
+	db.byName[m.Name] = m
+	for i, em := range db.Metrics {
+		if em == old {
+			db.Metrics[i] = m
+			break
+		}
+	}
+	if m.Procedure != "" {
+		// Replace, never mutate, the procedure list: ProcedureMetrics hands
+		// the stored slice to readers, so its backing array must stay
+		// stable once published.
+		key := m.NF + "/" + m.Service + "/" + m.Procedure
+		lst := append([]*Metric(nil), db.byProc[key]...)
+		for i, em := range lst {
+			if em == old {
+				lst[i] = m
+				break
+			}
+		}
+		db.byProc[key] = lst
+	}
+}
+
 // AddFunction registers a bespoke function contributed at runtime (the
-// feedback loop), keeping the lookup index consistent.
+// feedback loop), keeping the lookup index consistent and bumping the
+// database version.
 func (db *Database) AddFunction(f *FunctionDef) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.Functions = append(db.Functions, f)
 	db.funcByID[f.Name] = f
+	db.version.Add(1)
 }
 
 // NFLongNames maps NF short names to their full 3GPP names (used in
@@ -255,6 +336,8 @@ type Stats struct {
 
 // Stats computes catalog statistics.
 func (db *Database) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	s := Stats{PerNF: make(map[string]int), Functions: len(db.Functions)}
 	for _, m := range db.Metrics {
 		s.Metrics++

@@ -182,6 +182,7 @@ func New(cfg Config) (*Copilot, error) {
 		cp.metrics = newPipelineMetrics(cfg.Metrics)
 		cp.exec.Instrument(cfg.Metrics)
 		cp.renderer.Instrument(cfg.Metrics)
+		cp.retriever.Instrument(cfg.Metrics)
 	}
 	return cp, nil
 }
@@ -440,7 +441,7 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 	// Annotate the answer when the generated query instantiates one of
 	// the domain-specific database's bespoke function recipes (§3.1).
 	if a.Query != "" {
-		for _, fn := range c.db.Functions {
+		for _, fn := range c.db.FunctionsSnapshot() {
 			if fn.Arity != len(genResp.Metrics) {
 				continue
 			}

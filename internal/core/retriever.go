@@ -2,21 +2,58 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"dio/internal/catalog"
 	"dio/internal/embedding"
 	"dio/internal/llm"
+	"dio/internal/obs"
+	"dio/internal/servecache"
 	"dio/internal/vecstore"
 )
+
+// defaultRetrievalCacheSize bounds the question→(embedding, top-K docs)
+// cache. Operator workloads are dominated by a small set of recurring
+// question shapes, so a modest cache absorbs most of the embedding and
+// vector-search cost.
+const defaultRetrievalCacheSize = 512
 
 // Retriever is the context extractor of §3.2: it embeds the text samples
 // of the domain-specific database offline, embeds each user query online,
 // and returns the top-K documents by cosine similarity — the curated
-// context that fits within the model's prompt budget.
+// context that fits within the model's prompt budget. It is safe for
+// concurrent use: feedback contributions may add documents while live
+// traffic retrieves.
 type Retriever struct {
 	model *embedding.Model
+
+	// mu guards docs and the index against concurrent feedback additions;
+	// retrieval holds the read lock, AddDocument the write lock.
+	mu    sync.RWMutex
 	index vecstore.Index
 	docs  map[string]catalog.Document
+
+	// version counts indexed documents over time. Retrieval-cache entries
+	// record the version they were computed at and are ignored once it
+	// moves, so a contribution is retrievable by the very next question.
+	version atomic.Uint64
+
+	// cache memoises question → (query vector, top-K scored docs). It
+	// depends only on the indexed corpus (not on TSDB contents), so it
+	// survives answer-cache expiry. The pointer is atomic so live lookups
+	// never race a SetRetrievalCache resize; nil when disabled.
+	cache   atomic.Pointer[servecache.LRU[retrievalEntry]]
+	lookups *obs.CounterVec // dio_cache_requests_total{cache="retrieval",outcome}; nil w/o Instrument
+}
+
+// retrievalEntry is one cached retrieval: the embedded query vector plus
+// the scored top-k result, valid while version matches the retriever's.
+type retrievalEntry struct {
+	version uint64
+	k       int
+	vec     embedding.Vector
+	scored  []ScoredDoc
 }
 
 // NewRetriever indexes the documents of the domain-specific database using
@@ -32,7 +69,11 @@ func NewRetriever(db *catalog.Database, index vecstore.Index) (*Retriever, error
 	if index == nil {
 		index = vecstore.NewFlat(model.Dim())
 	}
-	r := &Retriever{model: model, index: index, docs: make(map[string]catalog.Document, len(docs))}
+	r := &Retriever{
+		model: model, index: index,
+		docs: make(map[string]catalog.Document, len(docs)),
+	}
+	r.cache.Store(servecache.NewLRU[retrievalEntry](defaultRetrievalCacheSize))
 	for _, d := range docs {
 		if err := index.Add(d.ID, model.Embed(d.Text)); err != nil {
 			return nil, fmt.Errorf("core: indexing %s: %w", d.ID, err)
@@ -46,18 +87,45 @@ func NewRetriever(db *catalog.Database, index vecstore.Index) (*Retriever, error
 // vector-store ablation reuse it).
 func (r *Retriever) EmbeddingModel() *embedding.Model { return r.model }
 
+// SetRetrievalCache resizes the question→result cache; size 0 disables
+// caching (ablations isolating raw index performance).
+func (r *Retriever) SetRetrievalCache(size int) {
+	if size <= 0 {
+		r.cache.Store(nil)
+		return
+	}
+	r.cache.Store(servecache.NewLRU[retrievalEntry](size))
+}
+
+// Instrument counts retrieval-cache outcomes on the registry (shared
+// dio_cache_requests_total family, cache="retrieval").
+func (r *Retriever) Instrument(reg *obs.Registry) {
+	r.lookups = reg.CounterVec("dio_cache_requests_total",
+		"Serving-cache lookups, by cache layer and outcome (hit, miss, coalesced, bypass).", "", "cache", "outcome")
+}
+
+// Version returns the monotonic document-set version (bumped by every
+// AddDocument).
+func (r *Retriever) Version() uint64 { return r.version.Load() }
+
 // AddDocument indexes one new document (expert contributions arriving
-// through the feedback loop).
+// through the feedback loop) and bumps the retriever version, lazily
+// invalidating cached retrievals.
 func (r *Retriever) AddDocument(d catalog.Document) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if err := r.index.Add(d.ID, r.model.Embed(d.Text)); err != nil {
 		return err
 	}
 	r.docs[d.ID] = d
+	r.version.Add(1)
 	return nil
 }
 
 // Doc returns the indexed document with the given ID.
 func (r *Retriever) Doc(id string) (catalog.Document, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	d, ok := r.docs[id]
 	return d, ok
 }
@@ -71,9 +139,28 @@ type ScoredDoc struct {
 }
 
 // RetrieveScored returns the top-k documents semantically closest to the
-// query with their similarity scores, best first.
+// query with their similarity scores, best first. Results are served from
+// the retrieval cache when the document set has not changed since they
+// were computed; a version mismatch recomputes, reusing nothing.
 func (r *Retriever) RetrieveScored(query string, k int) []ScoredDoc {
-	qv := r.model.Embed(query)
+	ver := r.version.Load()
+	cache := r.cache.Load()
+	var qv embedding.Vector
+	if cache != nil {
+		if e, ok := cache.Get(query); ok && e.version == ver {
+			if e.k == k {
+				r.countLookup("hit")
+				return append([]ScoredDoc(nil), e.scored...)
+			}
+			// Same corpus, different k: the embedding is still valid.
+			qv = e.vec
+		}
+		r.countLookup("miss")
+	}
+	if qv == nil {
+		qv = r.model.Embed(query)
+	}
+	r.mu.RLock()
 	hits := r.index.Search(qv, k)
 	out := make([]ScoredDoc, 0, len(hits))
 	for _, h := range hits {
@@ -83,7 +170,20 @@ func (r *Retriever) RetrieveScored(query string, k int) []ScoredDoc {
 		}
 		out = append(out, ScoredDoc{Doc: llm.ContextDoc{ID: d.ID, Text: d.Text}, Score: h.Score})
 	}
+	r.mu.RUnlock()
+	if cache != nil {
+		cache.Put(query, retrievalEntry{
+			version: ver, k: k, vec: qv,
+			scored: append([]ScoredDoc(nil), out...),
+		})
+	}
 	return out
+}
+
+func (r *Retriever) countLookup(outcome string) {
+	if r.lookups != nil {
+		r.lookups.With("retrieval", outcome).Inc()
+	}
 }
 
 // Retrieve returns the top-k documents semantically closest to the query,

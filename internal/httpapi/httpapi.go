@@ -20,12 +20,19 @@ import (
 	"dio/internal/obs"
 	"dio/internal/promql"
 	"dio/internal/sandbox"
+	"dio/internal/servecache"
 )
 
 // TraceIDHeader carries the request trace ID in both directions: clients
 // may supply one to adopt, and every traced response returns the ID that
 // /debug/traces/{id} resolves.
 const TraceIDHeader = "X-DIO-Trace-ID"
+
+// CacheHeader reports how POST /api/v1/ask resolved the answer: "hit"
+// (served from the answer cache, including coalesced singleflight
+// followers), "miss" (computed and cached), or "bypass" (nocache/explain
+// request, or no serving layer attached).
+const CacheHeader = "X-DIO-Cache"
 
 // Server wires the copilot, executor and feedback tracker into an
 // http.Handler.
@@ -45,6 +52,12 @@ type Server struct {
 	// endpoints (nil when tracing is off).
 	tracer *obs.Tracer
 	traces *obs.TraceStore
+
+	// front/gate form the serving-throughput layer (nil when off): the
+	// answer cache with singleflight in front of Ask, and the admission
+	// gate bounding concurrent answer computations.
+	front *servecache.Front[*core.Answer]
+	gate  *servecache.Gate
 }
 
 // Option configures optional server features.
@@ -70,6 +83,17 @@ func WithTracing(tr *obs.Tracer) Option {
 	return func(s *Server) {
 		s.tracer = tr
 		s.traces = tr.Store()
+	}
+}
+
+// WithServing attaches the serving-throughput layer: ask answers are
+// served through the cache/singleflight front, and the admission gate
+// bounds how many answers compute concurrently (overload sheds with
+// 429). Either may be nil to enable just one half.
+func WithServing(front *servecache.Front[*core.Answer], gate *servecache.Gate) Option {
+	return func(s *Server) {
+		s.front = front
+		s.gate = gate
 	}
 }
 
@@ -277,10 +301,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // askRequest is the POST /api/v1/ask body. Explain forces trace capture
 // for this request (bypassing sampling) so the returned trace_id is
-// guaranteed to resolve at /debug/traces/{id}.
+// guaranteed to resolve at /debug/traces/{id}. NoCache skips the answer
+// cache for this request (the response still computes fresh and is not
+// stored).
 type askRequest struct {
 	Question string `json:"question"`
 	Explain  bool   `json:"explain,omitempty"`
+	NoCache  bool   `json:"nocache,omitempty"`
 }
 
 // askResponse mirrors core.Answer in wire form.
@@ -302,6 +329,29 @@ type askMetric struct {
 	Description string `json:"description,omitempty"`
 }
 
+// admit takes an admission-gate slot before an answer computation, or
+// sheds the request: 429 with Retry-After when the queue wait expires,
+// 503 when the client context dies while queued. The release func must
+// be called once the computation finishes; ok=false means the response
+// is already written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.gate == nil {
+		return func() {}, true
+	}
+	release, err := s.gate.Acquire(r.Context())
+	if err != nil {
+		obs.SpanFrom(r.Context()).SetError(err)
+		if errors.Is(err, servecache.ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			s.writeErr(w, http.StatusTooManyRequests, err)
+		} else {
+			s.writeErr(w, http.StatusServiceUnavailable, err)
+		}
+		return nil, false
+	}
+	return release, true
+}
+
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	var req askRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -312,6 +362,11 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, errors.New("question is required"))
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	ctx := r.Context()
 	// The middleware starts traces before the body is readable, so an
 	// explain request that sampling skipped starts its own forced trace
@@ -326,7 +381,25 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 			defer root.End()
 		}
 	}
-	ans, err := s.copilot.Ask(ctx, req.Question)
+	var (
+		ans    *core.Answer
+		status = servecache.StatusBypass
+		err    error
+	)
+	if s.front != nil {
+		// Explain requests bypass: a cached answer's trace_id points at
+		// the original computation, not this request's forced trace.
+		ans, status, err = s.front.Do(ctx, req.Question, req.NoCache || req.Explain)
+	} else {
+		ans, err = s.copilot.Ask(ctx, req.Question)
+	}
+	if cached := status == servecache.StatusHit || status == servecache.StatusCoalesced; cached {
+		w.Header().Set(CacheHeader, "hit")
+	} else if status == servecache.StatusMiss {
+		w.Header().Set(CacheHeader, "miss")
+	} else {
+		w.Header().Set(CacheHeader, "bypass")
+	}
 	if err != nil {
 		obs.SpanFrom(ctx).SetError(err)
 		s.writeErr(w, http.StatusInternalServerError, err)
@@ -521,7 +594,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var out []metricInfo
-	for _, m := range s.copilot.Catalog().Metrics {
+	for _, m := range s.copilot.Catalog().MetricsSnapshot() {
 		if q != "" && !strings.Contains(strings.ToLower(m.Name), q) &&
 			!strings.Contains(strings.ToLower(m.Description), q) {
 			continue
@@ -559,6 +632,13 @@ func (s *Server) handleFeedbackOpen(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, errors.New("question is required"))
 		return
 	}
+	// Feedback re-asks run the full pipeline too, so they compete for the
+	// same admission slots as /api/v1/ask.
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	ans, err := s.copilot.Ask(r.Context(), req.Question)
 	if err != nil {
 		s.writeErr(w, http.StatusInternalServerError, err)

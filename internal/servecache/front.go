@@ -1,0 +1,182 @@
+package servecache
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dio/internal/obs"
+)
+
+// FrontConfig assembles a Front.
+type FrontConfig[V any] struct {
+	// Size is the approximate answer-cache capacity in entries.
+	Size int
+	// TTL is the freshness window: the TSDB head timestamp is quantized
+	// into buckets of this width and folded into the cache key, so a
+	// cached answer stops being addressable once the head advances past
+	// its bucket. Zero disables time-based expiry (keys ignore the head).
+	TTL time.Duration
+	// Version returns the domain-specific database's monotonic version;
+	// every expert contribution bumps it, invalidating all cached answers
+	// instantly. Nil pins the version to zero.
+	Version func() uint64
+	// Head returns the newest ingested TSDB sample timestamp in Unix
+	// milliseconds (0 for an empty store). Nil pins the bucket to zero.
+	Head func() int64
+	// Compute runs the full pipeline for one question (a cache miss or
+	// bypass). Required.
+	Compute func(ctx context.Context, question string) (V, error)
+}
+
+// Front is the answer cache: a sharded LRU keyed by (normalized question,
+// catalog version, TSDB-head bucket) with singleflight collapsing
+// concurrent identical misses into one pipeline execution. Errors are
+// never cached. It is safe for concurrent use.
+type Front[V any] struct {
+	cfg   FrontConfig[V]
+	cache *LRU[V]
+	sf    Group[V]
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	bypasses  atomic.Uint64
+
+	// obs instruments (nil without Instrument).
+	requests *obs.CounterVec
+	evicted  *obs.Counter
+	lookup   *obs.Histogram
+}
+
+// NewFront builds the serving front. It panics without a Compute function:
+// that is a wiring error, not a runtime condition.
+func NewFront[V any](cfg FrontConfig[V]) *Front[V] {
+	if cfg.Compute == nil {
+		panic("servecache: FrontConfig.Compute is required")
+	}
+	if cfg.Size < 1 {
+		cfg.Size = 1024
+	}
+	return &Front[V]{cfg: cfg, cache: NewLRU[V](cfg.Size)}
+}
+
+// Instrument registers the front's hit/miss/eviction counters, lookup
+// histogram and entry gauge on the registry under cache="answer".
+func (f *Front[V]) Instrument(reg *obs.Registry) {
+	f.requests = reg.CounterVec("dio_cache_requests_total",
+		"Serving-cache lookups, by cache layer and outcome (hit, miss, coalesced, bypass).", "", "cache", "outcome")
+	f.evicted = reg.CounterVec("dio_cache_evictions_total",
+		"Serving-cache entries evicted for capacity, by cache layer.", "", "cache").With("answer")
+	f.lookup = reg.Histogram("dio_cache_lookup_seconds",
+		"Latency of one answer-cache lookup (key build + LRU probe).", "seconds",
+		obs.ExponentialBuckets(1e-7, 10, 8))
+	reg.GaugeVec("dio_cache_entries",
+		"Entries currently resident in a serving cache, by cache layer.", "", "cache").
+		Func(func() float64 { return float64(f.cache.Len()) }, "answer")
+}
+
+// Key builds the versioned cache key for a question: normalized text,
+// catalog version, and the TTL-quantized TSDB head bucket.
+func (f *Front[V]) Key(question string) string {
+	var ver uint64
+	if f.cfg.Version != nil {
+		ver = f.cfg.Version()
+	}
+	var bucket int64
+	if f.cfg.TTL > 0 && f.cfg.Head != nil {
+		if ms := f.cfg.TTL.Milliseconds(); ms > 0 {
+			bucket = f.cfg.Head() / ms
+		}
+	}
+	return fmt.Sprintf("%d\x1f%d\x1f%s", ver, bucket, Normalize(question))
+}
+
+// Do serves one question: from the cache when addressable, coalesced onto
+// an identical in-flight execution, or by running the pipeline (always,
+// when bypass is set — the expert-verification path must be able to see
+// live pipeline behaviour). The traced request's span gets a cache_hit
+// attribute either way.
+//
+// Coalesced followers share the leader's result and error: if the leader's
+// context is cancelled mid-pipeline, followers see that error too.
+func (f *Front[V]) Do(ctx context.Context, question string, bypass bool) (V, Status, error) {
+	if bypass {
+		f.bypasses.Add(1)
+		f.count(StatusBypass)
+		obs.SpanFrom(ctx).SetAttr("cache_hit", false)
+		v, err := f.cfg.Compute(ctx, question)
+		return v, StatusBypass, err
+	}
+	start := time.Now()
+	key := f.Key(question)
+	v, ok := f.cache.Get(key)
+	if f.lookup != nil {
+		f.lookup.Observe(time.Since(start).Seconds())
+	}
+	if ok {
+		f.hits.Add(1)
+		f.count(StatusHit)
+		obs.SpanFrom(ctx).SetAttr("cache_hit", true)
+		return v, StatusHit, nil
+	}
+	v, err, leader := f.sf.Do(key, func() (V, error) {
+		v, err := f.cfg.Compute(ctx, question)
+		if err == nil && f.cache.Put(key, v) && f.evicted != nil {
+			f.evicted.Inc()
+		}
+		return v, err
+	})
+	status := StatusCoalesced
+	if leader {
+		status = StatusMiss
+		f.misses.Add(1)
+	} else {
+		f.coalesced.Add(1)
+	}
+	f.count(status)
+	obs.SpanFrom(ctx).SetAttr("cache_hit", status == StatusCoalesced)
+	return v, status, err
+}
+
+func (f *Front[V]) count(s Status) {
+	if f.requests != nil {
+		f.requests.With("answer", s.String()).Inc()
+	}
+}
+
+// FrontStats is a point-in-time view of the front's counters.
+type FrontStats struct {
+	Hits, Misses, Coalesced, Bypasses, Evictions uint64
+	Entries                                      int
+}
+
+// HitRate returns hits (direct plus coalesced) over all non-bypass
+// lookups, in [0, 1]; 0 when nothing was looked up.
+func (s FrontStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Purge drops every cached entry and zeroes the outcome counters
+// (benchmarks separating warm-up traffic from the measured run).
+func (f *Front[V]) Purge() {
+	f.cache.Purge()
+	f.hits.Store(0)
+	f.misses.Store(0)
+	f.coalesced.Store(0)
+	f.bypasses.Store(0)
+}
+
+// Stats snapshots the front's counters.
+func (f *Front[V]) Stats() FrontStats {
+	return FrontStats{
+		Hits: f.hits.Load(), Misses: f.misses.Load(),
+		Coalesced: f.coalesced.Load(), Bypasses: f.bypasses.Load(),
+		Evictions: f.cache.Evictions(), Entries: f.cache.Len(),
+	}
+}

@@ -1,0 +1,101 @@
+package servecache
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"dio/internal/obs"
+)
+
+// ErrOverloaded is returned by Gate.Acquire when a slot did not free up
+// within the queue-wait budget; HTTP handlers map it to 429.
+var ErrOverloaded = errors.New("servecache: server overloaded, request shed after queue-wait timeout")
+
+// Gate is the admission controller for the expensive ask pipeline: at most
+// maxInflight executions run concurrently, excess requests queue up to
+// queueWait and are then shed. Bounding concurrency keeps per-request
+// latency predictable under overload instead of letting every request slow
+// every other one down until timeouts collapse the service.
+type Gate struct {
+	sem       chan struct{}
+	queueWait time.Duration
+
+	queued   atomic.Int64
+	rejected atomic.Uint64
+
+	rejectedC *obs.Counter   // nil without Instrument
+	waitHist  *obs.Histogram // nil without Instrument
+}
+
+// NewGate returns a gate admitting maxInflight concurrent executions, with
+// the given queue-wait budget before shedding (0 sheds immediately when
+// full).
+func NewGate(maxInflight int, queueWait time.Duration) *Gate {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	return &Gate{sem: make(chan struct{}, maxInflight), queueWait: queueWait}
+}
+
+// Instrument registers the gate's queue/inflight gauges, wait histogram
+// and shed counter on the registry.
+func (g *Gate) Instrument(reg *obs.Registry) {
+	reg.GaugeFunc("dio_gate_queue_depth",
+		"Requests currently waiting for an admission slot.", "",
+		func() float64 { return float64(g.queued.Load()) })
+	reg.GaugeFunc("dio_gate_inflight",
+		"Requests currently holding an admission slot.", "",
+		func() float64 { return float64(len(g.sem)) })
+	g.rejectedC = reg.Counter("dio_gate_rejected_total",
+		"Requests shed with 429 after the queue-wait timeout.", "")
+	g.waitHist = reg.Histogram("dio_gate_wait_seconds",
+		"Time spent queued before admission.", "seconds", obs.DefBuckets())
+}
+
+// Acquire blocks until an execution slot is free, the queue-wait budget
+// runs out (ErrOverloaded) or ctx is cancelled. On success it returns the
+// release function that must be called when the execution finishes.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	start := time.Now()
+	g.queued.Add(1)
+	defer g.queued.Add(-1)
+
+	// Fast path: a free slot needs no timer.
+	select {
+	case g.sem <- struct{}{}:
+		g.observeWait(start)
+		return g.release, nil
+	default:
+	}
+	timer := time.NewTimer(g.queueWait)
+	defer timer.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		g.observeWait(start)
+		return g.release, nil
+	case <-timer.C:
+		g.rejected.Add(1)
+		if g.rejectedC != nil {
+			g.rejectedC.Inc()
+		}
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) release() { <-g.sem }
+
+func (g *Gate) observeWait(start time.Time) {
+	if g.waitHist != nil {
+		g.waitHist.Observe(time.Since(start).Seconds())
+	}
+}
+
+// Rejected returns the total number of shed requests.
+func (g *Gate) Rejected() uint64 { return g.rejected.Load() }
+
+// Queued returns the number of requests currently waiting for admission.
+func (g *Gate) Queued() int64 { return g.queued.Load() }

@@ -1,0 +1,116 @@
+package servecache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// lruShards is the fixed shard count of an LRU. Sharding bounds lock
+// contention under concurrent serving traffic: two requests for different
+// questions almost never touch the same mutex.
+const lruShards = 16
+
+// LRU is a sharded, concurrency-safe least-recently-used cache with string
+// keys. Capacity is enforced per shard (total ≈ the requested size), so a
+// pathological key distribution can only over-evict, never over-retain.
+type LRU[V any] struct {
+	shards    [lruShards]lruShard[V]
+	perShard  int
+	evictions atomic.Uint64
+}
+
+type lruShard[V any] struct {
+	mu    sync.Mutex
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// NewLRU returns a cache holding approximately size entries (at least one
+// per shard).
+func NewLRU[V any](size int) *LRU[V] {
+	per := (size + lruShards - 1) / lruShards
+	if per < 1 {
+		per = 1
+	}
+	c := &LRU[V]{perShard: per}
+	for i := range c.shards {
+		c.shards[i].order = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *LRU[V]) shard(key string) *lruShard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%lruShards]
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *LRU[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*lruEntry[V]).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry of the
+// key's shard when full. It reports whether an eviction happened.
+func (c *LRU[V]) Put(key string, val V) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		s.order.MoveToFront(el)
+		return false
+	}
+	s.items[key] = s.order.PushFront(&lruEntry[V]{key: key, val: val})
+	if s.order.Len() <= c.perShard {
+		return false
+	}
+	oldest := s.order.Back()
+	s.order.Remove(oldest)
+	delete(s.items, oldest.Value.(*lruEntry[V]).key)
+	c.evictions.Add(1)
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Evictions returns the total number of entries evicted for capacity.
+func (c *LRU[V]) Evictions() uint64 { return c.evictions.Load() }
+
+// Purge drops every entry (tests and explicit cache flushes).
+func (c *LRU[V]) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.order.Init()
+		clear(s.items)
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,397 @@
+package servecache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"How many PDU sessions?":        "how many pdu sessions",
+		"  how   many PDU sessions??? ": "how many pdu sessions",
+		"how many pdu sessions":         "how many pdu sessions",
+		"What is the rate!":             "what is the rate",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU[int](64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Put("a", 3) // update, not insert
+	if v, _ := c.Get("a"); v != 3 {
+		t.Fatalf("update lost: got %d", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewLRU[int](32)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	if c.Len() > 32 {
+		t.Fatalf("Len = %d exceeds capacity 32", c.Len())
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("expected evictions after overfilling")
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Purge = %d", c.Len())
+	}
+}
+
+func TestLRURecency(t *testing.T) {
+	// One entry per shard: re-using a key must keep it resident while a
+	// second key in the same shard evicts around it.
+	c := NewLRU[int](1) // per-shard capacity 1
+	c.Put("hot", 1)
+	for i := 0; i < 100; i++ {
+		c.Get("hot")
+		c.Put(fmt.Sprintf("cold-%d", i), i)
+	}
+	// "hot" may share a shard with a cold key and lose the slot only if it
+	// was least recently used — it never is, because we touch it each
+	// round before inserting. It must only have been evicted if a cold key
+	// landed in its shard *after* the Get. Verify the common case instead:
+	// a fresh Get-after-Put sequence keeps the entry.
+	c.Purge()
+	c.Put("a", 1)
+	c.Get("a")
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU[int](256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k-%d", (w*31+i)%300)
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestGroupCoalesces(t *testing.T) {
+	var g Group[int]
+	var executions atomic.Int32
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+
+	var wg sync.WaitGroup
+	leaderDone := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, leader := g.Do("k", func() (int, error) {
+			executions.Add(1)
+			close(started)
+			<-unblock
+			return 42, nil
+		})
+		if err != nil || !leader {
+			t.Errorf("leader: v=%d err=%v leader=%v", v, err, leader)
+		}
+		leaderDone <- v
+	}()
+	<-started
+
+	const followers = 5
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, leader := g.Do("k", func() (int, error) {
+				executions.Add(1)
+				return -1, nil
+			})
+			if v != 42 || err != nil || leader {
+				t.Errorf("follower: v=%d err=%v leader=%v", v, err, leader)
+			}
+		}()
+	}
+	// Give followers a moment to enqueue on the in-flight call.
+	time.Sleep(20 * time.Millisecond)
+	close(unblock)
+	wg.Wait()
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	if v := <-leaderDone; v != 42 {
+		t.Fatalf("leader value %d", v)
+	}
+}
+
+func TestGroupSequentialReexecutes(t *testing.T) {
+	var g Group[int]
+	n := 0
+	for i := 0; i < 3; i++ {
+		_, _, leader := g.Do("k", func() (int, error) { n++; return n, nil })
+		if !leader {
+			t.Fatal("sequential caller should lead")
+		}
+	}
+	if n != 3 {
+		t.Fatalf("fn executed %d times, want 3", n)
+	}
+}
+
+func newTestFront(version *atomic.Uint64, head *atomic.Int64, compute func(ctx context.Context, q string) (string, error)) *Front[string] {
+	return NewFront(FrontConfig[string]{
+		Size:    128,
+		TTL:     time.Minute,
+		Version: version.Load,
+		Head:    head.Load,
+		Compute: compute,
+	})
+}
+
+func TestFrontHitMissBypass(t *testing.T) {
+	var version atomic.Uint64
+	var head atomic.Int64
+	var computes atomic.Int32
+	f := newTestFront(&version, &head, func(_ context.Context, q string) (string, error) {
+		computes.Add(1)
+		return "answer:" + q, nil
+	})
+	ctx := context.Background()
+
+	v, st, err := f.Do(ctx, "How many sessions?", false)
+	if err != nil || st != StatusMiss || v != "answer:How many sessions?" {
+		t.Fatalf("first: v=%q st=%v err=%v", v, st, err)
+	}
+	// Normalized variants of the same question hit.
+	for _, q := range []string{"How many sessions?", "how many sessions", " HOW  MANY  SESSIONS "} {
+		v, st, err = f.Do(ctx, q, false)
+		if err != nil || st != StatusHit {
+			t.Fatalf("variant %q: st=%v err=%v", q, st, err)
+		}
+		if v != "answer:How many sessions?" {
+			t.Fatalf("variant %q got %q", q, v)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("pipeline ran %d times, want 1", n)
+	}
+	// Bypass always recomputes and does not disturb the cached entry.
+	v, st, err = f.Do(ctx, "how many sessions", true)
+	if err != nil || st != StatusBypass || v != "answer:how many sessions" {
+		t.Fatalf("bypass: v=%q st=%v err=%v", v, st, err)
+	}
+	if _, st, _ := f.Do(ctx, "How many sessions?", false); st != StatusHit {
+		t.Fatalf("post-bypass lookup: st=%v, want hit", st)
+	}
+
+	s := f.Stats()
+	if s.Hits != 4 || s.Misses != 1 || s.Bypasses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFrontVersionInvalidates(t *testing.T) {
+	var version atomic.Uint64
+	var head atomic.Int64
+	var computes atomic.Int32
+	f := newTestFront(&version, &head, func(_ context.Context, q string) (string, error) {
+		return fmt.Sprintf("v%d:%s", computes.Add(1), q), nil
+	})
+	ctx := context.Background()
+
+	v1, _, _ := f.Do(ctx, "q", false)
+	version.Add(1) // an expert contribution landed
+	v2, st, _ := f.Do(ctx, "q", false)
+	if st != StatusMiss {
+		t.Fatalf("post-bump status %v, want miss", st)
+	}
+	if v1 == v2 {
+		t.Fatalf("version bump did not invalidate: %q == %q", v1, v2)
+	}
+}
+
+func TestFrontHeadBucketExpires(t *testing.T) {
+	var version atomic.Uint64
+	var head atomic.Int64
+	var computes atomic.Int32
+	f := newTestFront(&version, &head, func(_ context.Context, q string) (string, error) {
+		computes.Add(1)
+		return "x", nil
+	})
+	ctx := context.Background()
+	f.Do(ctx, "q", false)
+	// Head advances within the same minute bucket: still a hit.
+	head.Add(30_000)
+	if _, st, _ := f.Do(ctx, "q", false); st != StatusHit {
+		t.Fatalf("same-bucket status %v, want hit", st)
+	}
+	// Head crosses the bucket boundary: expired.
+	head.Store(61_000)
+	if _, st, _ := f.Do(ctx, "q", false); st != StatusMiss {
+		t.Fatalf("next-bucket status %v, want miss", st)
+	}
+	if computes.Load() != 2 {
+		t.Fatalf("pipeline ran %d times, want 2", computes.Load())
+	}
+}
+
+func TestFrontErrorsNotCached(t *testing.T) {
+	var version atomic.Uint64
+	var head atomic.Int64
+	fail := true
+	f := newTestFront(&version, &head, func(_ context.Context, q string) (string, error) {
+		if fail {
+			return "", errors.New("boom")
+		}
+		return "ok", nil
+	})
+	ctx := context.Background()
+	if _, _, err := f.Do(ctx, "q", false); err == nil {
+		t.Fatal("expected error")
+	}
+	fail = false
+	v, st, err := f.Do(ctx, "q", false)
+	if err != nil || v != "ok" || st != StatusMiss {
+		t.Fatalf("recovery: v=%q st=%v err=%v (errors must not be cached)", v, st, err)
+	}
+}
+
+func TestFrontSingleflight(t *testing.T) {
+	var version atomic.Uint64
+	var head atomic.Int64
+	var computes atomic.Int32
+	release := make(chan struct{})
+	f := newTestFront(&version, &head, func(_ context.Context, q string) (string, error) {
+		computes.Add(1)
+		<-release
+		return "shared", nil
+	})
+	ctx := context.Background()
+
+	const n = 8
+	var wg sync.WaitGroup
+	statuses := make([]Status, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, st, err := f.Do(ctx, "q", false)
+			if err != nil || v != "shared" {
+				t.Errorf("worker %d: v=%q err=%v", i, v, err)
+			}
+			statuses[i] = st
+		}(i)
+	}
+	// Let every worker reach the flight before releasing the leader. The
+	// sleep only widens the coalescing window; correctness does not depend
+	// on it.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("pipeline ran %d times under concurrent identical misses, want 1", n)
+	}
+	leaders := 0
+	for _, st := range statuses {
+		if st == StatusMiss {
+			leaders++
+		} else if st != StatusCoalesced && st != StatusHit {
+			t.Fatalf("unexpected status %v", st)
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want 1", leaders)
+	}
+}
+
+func TestGateAdmissionAndShedding(t *testing.T) {
+	g := NewGate(2, 50*time.Millisecond)
+	ctx := context.Background()
+
+	r1, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full: the third acquire sheds after the queue-wait budget.
+	start := time.Now()
+	if _, err := g.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("shed before the queue-wait budget elapsed")
+	}
+	if g.Rejected() != 1 {
+		t.Fatalf("Rejected = %d, want 1", g.Rejected())
+	}
+	// A released slot admits the next waiter.
+	r1()
+	r3, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("post-release acquire: %v", err)
+	}
+	r3()
+	r2()
+}
+
+func TestGateQueueWaitAdmits(t *testing.T) {
+	g := NewGate(1, time.Second)
+	ctx := context.Background()
+	r1, _ := g.Acquire(ctx)
+	done := make(chan error, 1)
+	go func() {
+		r2, err := g.Acquire(ctx)
+		if err == nil {
+			r2()
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if q := g.Queued(); q != 1 {
+		t.Fatalf("Queued = %d, want 1", q)
+	}
+	r1()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire failed: %v", err)
+	}
+}
+
+func TestGateContextCancel(t *testing.T) {
+	g := NewGate(1, time.Minute)
+	r1, _ := g.Acquire(context.Background())
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	if _, err := g.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,43 @@
+package servecache
+
+import "sync"
+
+// Group collapses concurrent calls with the same key into one execution:
+// the first caller (the leader) runs fn; callers arriving while it runs
+// wait and share its result. Sequential calls re-execute — the group
+// deduplicates in-flight work only, it is not a cache.
+type Group[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do runs fn under key, coalescing concurrent duplicates. leader reports
+// whether this caller executed fn itself.
+func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, leader bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight[V])
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, f.err, false
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err, true
+}

@@ -145,6 +145,19 @@ func (db *DB) TimeRange() (minT, maxT int64, ok bool) {
 	return db.minT, db.maxT, true
 }
 
+// HeadTime returns the newest ingested timestamp (0 when empty). It is
+// the cheap data-freshness signal the serving cache folds into answer
+// keys: answers computed against an older head stop being addressable
+// once ingestion advances past their freshness bucket.
+func (db *DB) HeadTime() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.samples == 0 {
+		return 0
+	}
+	return db.maxT
+}
+
 // MetricTimeRange returns the min and max sample timestamps across the
 // series of one metric name; ok is false when the metric has no samples.
 // It lets callers pick a default evaluation instant per metric, so stores
