@@ -490,31 +490,53 @@ func (e *env1) ablations() error {
 	return nil
 }
 
+// engineModes are the three evaluation paths the engine experiment
+// compares: the plan-based executor (default), the legacy select-once
+// tree-walker, and the legacy stepwise tree-walker (full storage selection
+// per step — the original evaluator, kept as the differential oracle).
+var engineModes = []struct {
+	name             string
+	legacy, stepwise bool
+}{
+	{"planner    ", false, false},
+	{"legacy     ", true, false},
+	{"stepwise   ", false, true},
+}
+
+// engineModeOptions returns engine options for one comparison mode.
+func engineModeOptions(legacy, stepwise bool) promql.EngineOptions {
+	opts := promql.DefaultEngineOptions()
+	opts.LegacyEval = legacy
+	opts.StepwiseRange = stepwise
+	return opts
+}
+
 // engine measures the range-evaluation hot path on the populated operator
-// trace: select-once cursor evaluation versus the legacy stepwise path,
-// and serial versus parallel dashboard rendering.
+// trace: the plan-based executor versus the legacy tree-walker paths on
+// the dashboard query mix (gated at >= 1.5x over the stepwise legacy
+// evaluator), plus serial versus parallel dashboard rendering. With
+// -bench-out it records the run in BENCH_5.json form.
 func (e *env1) engine() error {
 	minT, maxT, ok := e.db.TimeRange()
 	if !ok {
 		return fmt.Errorf("engine: empty store")
 	}
 	start, end := time.UnixMilli(minT), time.UnixMilli(maxT)
-	step := end.Sub(start) / 200
+	steps := 200
+	if e.short {
+		steps = 50
+	}
+	step := end.Sub(start) / time.Duration(steps)
 	queries := []string{
 		"smfsm_pdu_sessions_active",
 		"sum by (instance) (rate(amfcc_initial_registration_attempt[5m]))",
 	}
-	fmt.Printf("range window: %s … %s, step %s (200 steps)\n",
-		start.Format(time.RFC3339), end.Format(time.RFC3339), step)
+	fmt.Printf("range window: %s … %s, step %s (%d steps)\n",
+		start.Format(time.RFC3339), end.Format(time.RFC3339), step, steps)
 	for _, q := range queries {
 		fmt.Printf("\nquery: %s\n", q)
-		for _, mode := range []struct {
-			name     string
-			stepwise bool
-		}{{"select-once", false}, {"stepwise   ", true}} {
-			opts := promql.DefaultEngineOptions()
-			opts.StepwiseRange = mode.stepwise
-			eng := promql.NewEngine(e.db, opts)
+		for _, mode := range engineModes {
+			eng := promql.NewEngine(e.db, engineModeOptions(mode.legacy, mode.stepwise))
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				ctx := context.Background()
@@ -528,14 +550,13 @@ func (e *env1) engine() error {
 		}
 	}
 
+	if err := e.engineMix(start, end, step, steps); err != nil {
+		return err
+	}
+
 	ex := sandbox.New(e.db, sandbox.DefaultLimits())
 	d := &dashboard.Dashboard{Title: "engine-bench"}
-	for _, q := range []string{
-		"smfsm_pdu_sessions_active",
-		"sum by (instance) (rate(amfcc_initial_registration_attempt[5m]))",
-		"sum(rate(amfmm_paging_attempt[5m]))",
-		"upfgtp_tunnels_active",
-	} {
+	for _, q := range dashboardMix {
 		d.Panels = append(d.Panels, dashboard.Panel{Title: q, Query: q, Kind: dashboard.KindTimeSeries})
 	}
 	fmt.Printf("\ndashboard: %d panels, 30m window\n", len(d.Panels))
@@ -556,6 +577,102 @@ func (e *env1) engine() error {
 		fmt.Printf("  %s  %s  %s\n", mode.name, res.String(), res.MemString())
 	}
 	return nil
+}
+
+// dashboardMix is the panel query mix the serving dashboards evaluate on
+// every refresh — the workload the planner gate measures.
+var dashboardMix = []string{
+	"smfsm_pdu_sessions_active",
+	"sum by (instance) (rate(amfcc_initial_registration_attempt[5m]))",
+	"sum(rate(amfmm_paging_attempt[5m]))",
+	"upfgtp_tunnels_active",
+}
+
+// engineMix benchmarks the dashboard query mix under every engine mode and
+// enforces the planner's speedup floor: the plan-based executor must beat
+// the stepwise legacy evaluator (the original per-step tree-walker, the
+// planner-off baseline) by at least 1.5x. Run under VERIFY_BENCH=1 this is
+// the merge gate for engine regressions.
+func (e *env1) engineMix(start, end time.Time, step time.Duration, steps int) error {
+	const minSpeedup = 1.5
+
+	fmt.Printf("\ndashboard mix: %d queries x %d steps, planner on/off\n", len(dashboardMix), steps)
+	nsOp := make(map[string]int64)
+	results := make(map[string]map[string]any)
+	for _, mode := range engineModes {
+		eng := promql.NewEngine(e.db, engineModeOptions(mode.legacy, mode.stepwise))
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				for _, q := range dashboardMix {
+					if _, err := eng.QueryRange(ctx, q, start, end, step); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		name := strings.TrimSpace(mode.name)
+		nsOp[name] = int64(r.NsPerOp())
+		results[name] = map[string]any{
+			"ns_op": int64(r.NsPerOp()), "b_op": r.AllocedBytesPerOp(), "allocs_op": r.AllocsPerOp(),
+		}
+		fmt.Printf("  %s  %s  %s\n", mode.name, r.String(), r.MemString())
+	}
+
+	vsStepwise := float64(nsOp["stepwise"]) / float64(nsOp["planner"])
+	vsSelectOnce := float64(nsOp["legacy"]) / float64(nsOp["planner"])
+	fmt.Printf("  planner speedup: %.2fx vs stepwise legacy, %.2fx vs select-once legacy\n",
+		vsStepwise, vsSelectOnce)
+	if vsStepwise < minSpeedup {
+		return fmt.Errorf("engine: planner %.2fx over the stepwise legacy evaluator, below the %.1fx floor",
+			vsStepwise, minSpeedup)
+	}
+	fmt.Printf("  PASS: planner >= %.1fx over the stepwise legacy evaluator\n", minSpeedup)
+
+	if e.benchOut != "" {
+		if err := e.writeEngineJSON(steps, step, results, vsStepwise, vsSelectOnce); err != nil {
+			return err
+		}
+		fmt.Println("wrote", e.benchOut)
+	}
+	return nil
+}
+
+// writeEngineJSON records the engine run in the BENCH_N.json convention
+// used by earlier perf issues.
+func (e *env1) writeEngineJSON(steps int, step time.Duration, results map[string]map[string]any,
+	vsStepwise, vsSelectOnce float64) error {
+	doc := map[string]any{
+		"issue": 5,
+		"title": "Plan-based query execution: logical plan, optimizer passes, and parallel vectorized operators",
+		"date":  time.Now().Format("2006-01-02"),
+		"host": map[string]any{
+			"cpu": cpuModel(), "cores": runtime.NumCPU(),
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
+		},
+		"command": "go run ./cmd/dio-bench -experiment engine -bench-out BENCH_5.json",
+		"workload": fmt.Sprintf("dashboard query mix (%d queries) over the fivegsim operator trace, "+
+			"%d-step range queries (step %s) per op; planner = plan-based executor (default), "+
+			"legacy = select-once tree-walker, stepwise = per-step tree-walker (planner-off baseline)",
+			len(dashboardMix), steps, step),
+		"queries": dashboardMix,
+		"results": results,
+		"summary": map[string]any{
+			"speedup_vs_stepwise":    fmt.Sprintf("%.2fx over the stepwise legacy evaluator", vsStepwise),
+			"speedup_vs_select_once": fmt.Sprintf("%.2fx over the select-once legacy tree-walker", vsSelectOnce),
+			"byte_identity":          "planner output is byte-identical to both legacy paths (differential + fuzz tested)",
+			"acceptance":             fmt.Sprintf("PASS: %.2fx >= 1.5x floor over the legacy evaluator on the dashboard mix", vsStepwise),
+		},
+	}
+	f, err := os.Create(e.benchOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // trace measures the ask-pipeline cost of request-scoped trace capture:

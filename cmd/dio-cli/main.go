@@ -94,7 +94,7 @@ func main() {
 		case line == "quit" || line == "exit":
 			return
 		case line == "help":
-			fmt.Println("Commands:\n  help              this message\n  quit              exit\n  expert            open an expert-assistance issue for the last answer\n  issues            list feedback issues\n  query <promql>    run PromQL directly through the sandbox\n  metrics <text>    search the domain-specific database\n  audit             show the sandboxed-query audit trail\n  anything else     a natural-language question about operator data")
+			fmt.Println("Commands:\n  help              this message\n  quit              exit\n  expert            open an expert-assistance issue for the last answer\n  issues            list feedback issues\n  query <promql>    run PromQL directly through the sandbox\n  explain <promql>  show the optimized execution plan for a query\n  metrics <text>    search the domain-specific database\n  audit             show the sandboxed-query audit trail\n  anything else     a natural-language question about operator data")
 		case line == "expert":
 			if lastAnswer == nil {
 				fmt.Println("Ask a question first.")
@@ -108,6 +108,8 @@ func main() {
 			}
 		case strings.HasPrefix(line, "query "):
 			runQuery(ctx, cp, strings.TrimPrefix(line, "query "))
+		case strings.HasPrefix(line, "explain "):
+			explainQuery(cp, strings.TrimPrefix(line, "explain "))
 		case strings.HasPrefix(line, "metrics "):
 			searchMetrics(cp, strings.TrimPrefix(line, "metrics "))
 		case line == "audit":
@@ -131,6 +133,17 @@ func runQuery(ctx context.Context, cp *core.Copilot, q string) {
 		return
 	}
 	fmt.Println(promql.FormatValue(v))
+}
+
+// explainQuery prints the optimized execution plan for raw PromQL: the
+// operator tree, scan hints and optimizer passes the engine would run.
+func explainQuery(cp *core.Copilot, q string) {
+	plan, err := cp.ExplainQuery(q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(plan)
 }
 
 // searchMetrics greps the catalog: every query token must appear in the

@@ -200,6 +200,14 @@ func (c *Copilot) Executor() *sandbox.Executor { return c.exec }
 // evaluation; instrumented when the copilot has a metrics registry).
 func (c *Copilot) Renderer() *dashboard.Renderer { return c.renderer }
 
+// ExplainQuery returns the optimized execution plan for a PromQL query,
+// rendered as an operator tree with the optimizer passes that applied —
+// the same plan the sandbox executes and attaches to traces. It fails on
+// queries that do not parse or cannot be planned.
+func (c *Copilot) ExplainQuery(query string) (string, error) {
+	return c.exec.Engine().Explain(query)
+}
+
 // Tracer returns the pipeline tracer (nil when the copilot was built
 // without a metrics registry). Callers enable request-scoped capture with
 // Tracer().EnableCapture.

@@ -70,6 +70,11 @@ func (r *Renderer) observePanel(err error, d time.Duration) {
 // panel order, so the rendering is deterministic. The first panel failure
 // cancels the remaining evaluations; the reported error is the
 // lowest-index panel's root failure, not a cascade cancellation.
+//
+// All panels route through one sandbox executor and therefore one engine:
+// repeated renders (and panels sharing a query) reuse the engine's
+// compiled-plan cache, so each distinct panel query is planned once, not
+// once per refresh.
 func (r *Renderer) Render(ctx context.Context, d *Dashboard, end time.Time, window, step time.Duration, width int) (string, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
@@ -130,6 +131,13 @@ func TestAskExplainTraceTree(t *testing.T) {
 	}
 	if !hasAttr("sandbox-exec", "promql.samples_loaded") {
 		t.Error("sandbox-exec span lacks promql.samples_loaded attr")
+	}
+	// The executed plan is recorded on the span: what ran, not just what
+	// was asked (visible in dio-cli -explain and GET /debug/traces/{id}).
+	// No plan runs — so none must be claimed — when the CI legacy-oracle
+	// leg forces the tree-walker via DIO_PROMQL_LEGACY.
+	if os.Getenv("DIO_PROMQL_LEGACY") == "" && !hasAttr("sandbox-exec", "promql.plan") {
+		t.Error("sandbox-exec span lacks promql.plan attr")
 	}
 
 	// The retrieved.metrics attr carries names with similarity scores.

@@ -117,6 +117,7 @@ func New(cp *core.Copilot, tracker *feedback.Tracker, logger *slog.Logger, opts 
 		cp.Executor().SetAudit(sandbox.NewAuditLog(4096, nil))
 	}
 	s.mux.HandleFunc("GET /api/v1/audit", s.handleAudit)
+	s.mux.HandleFunc("GET /debug/plan", s.handlePlan)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraceList)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -258,6 +259,24 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 		DurationMS: td.DurationMS, Error: td.Error, Errored: td.Errored,
 		Spans: len(td.Spans), Tree: td.Tree(),
 	})
+}
+
+// handlePlan serves GET /debug/plan?query=…: the optimized execution plan
+// the engine compiles for the query, rendered as an operator tree with the
+// optimizer passes that applied. The plan comes from the same per-engine
+// cache the executor uses, so what this endpoint shows is what runs.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("query")
+	if q == "" {
+		s.writeErr(w, http.StatusBadRequest, errors.New("query parameter is required"))
+		return
+	}
+	plan, err := s.copilot.ExplainQuery(q)
+	if err != nil {
+		s.writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "success", "query": q, "plan": plan})
 }
 
 // handleExposition serves the Prometheus text exposition of the attached

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -312,5 +313,30 @@ func TestAuditEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(last["query"].(string), "smfsm_pdu_sessions_active") {
 		t.Errorf("audited query = %v", last["query"])
+	}
+}
+
+func queryEscape(q string) string { return url.QueryEscape(q) }
+
+func TestDebugPlan(t *testing.T) {
+	h := newServer(t)
+	w, out := do(t, h, "GET", "/debug/plan?query="+queryEscape("sum by (instance)(rate(amfcc_n1_auth_request[5m]))"), nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", w.Code, w.Body.String())
+	}
+	plan, _ := out["plan"].(string)
+	for _, want := range []string{"plan for:", "range-hints", "window [5m] scan #0"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+
+	w, _ = do(t, h, "GET", "/debug/plan", nil)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("missing query: status = %d", w.Code)
+	}
+	w, _ = do(t, h, "GET", "/debug/plan?query="+queryEscape("sum by ("), nil)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("bad query: status = %d", w.Code)
 	}
 }

@@ -277,7 +277,7 @@ func FormatTrace(td *TraceData) string {
 	root := td.Tree()
 	// Root attrs (question, outcome, http status) print above the tree.
 	for _, a := range root.Attrs {
-		fmt.Fprintf(&b, "  %s: %v\n", a.Key, a.Value)
+		formatAttr(&b, "  ", a)
 	}
 	var walk func(n *SpanTree, depth int)
 	walk = func(n *SpanTree, depth int) {
@@ -288,7 +288,7 @@ func FormatTrace(td *TraceData) string {
 		}
 		b.WriteByte('\n')
 		for _, a := range n.Attrs {
-			fmt.Fprintf(&b, "%s    %s: %v\n", indent, a.Key, a.Value)
+			formatAttr(&b, indent+"    ", a)
 		}
 		for _, e := range n.Events {
 			fmt.Fprintf(&b, "%s    [event] %s", indent, e.Name)
@@ -305,4 +305,19 @@ func FormatTrace(td *TraceData) string {
 		walk(c, 0)
 	}
 	return b.String()
+}
+
+// formatAttr prints one span attribute at the given indent. Multi-line
+// string values (rendered plans, error chains) continue on their own lines,
+// indented one level past the key, so they cannot break the tree layout.
+func formatAttr(b *strings.Builder, indent string, a Attr) {
+	s, ok := a.Value.(string)
+	if !ok || !strings.Contains(s, "\n") {
+		fmt.Fprintf(b, "%s%s: %v\n", indent, a.Key, a.Value)
+		return
+	}
+	fmt.Fprintf(b, "%s%s:\n", indent, a.Key)
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		fmt.Fprintf(b, "%s  %s\n", indent, line)
+	}
 }

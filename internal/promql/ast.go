@@ -321,7 +321,11 @@ func (b *BinaryExpr) String() string {
 	if b.ReturnBool {
 		sb.WriteString(" bool")
 	}
-	if b.Matching != nil && len(b.Matching.MatchingLabels) > 0 {
+	// Render the matching clause whenever one was written, even with an
+	// empty label list: `on ()` (one global match group) is semantically
+	// distinct from no clause at all, and the canonical form is the plan
+	// cache key — dropping the clause would alias distinct queries.
+	if b.Matching != nil {
 		if b.Matching.On {
 			sb.WriteString(" on (")
 		} else {

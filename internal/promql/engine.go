@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"regexp"
+	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"dio/internal/obs"
@@ -29,16 +31,33 @@ type EngineOptions struct {
 	// in a semaphore queue (and fail if their context is cancelled while
 	// queued). Zero means unlimited.
 	MaxConcurrent int
-	// StepwiseRange disables select-once range evaluation, re-running full
-	// storage selection at every step of a range query. Kept as an escape
-	// hatch and for equivalence tests and benchmarks against the legacy
-	// path.
+	// StepwiseRange disables both the planner and select-once range
+	// evaluation, re-running full storage selection at every step of a
+	// range query. Kept as an escape hatch and as the oldest oracle for
+	// equivalence tests and benchmarks.
 	StepwiseRange bool
+	// LegacyEval disables the plan-based executor and evaluates with the
+	// legacy tree-walking evaluator (select-once range cache included).
+	// The legacy path is kept as a differential oracle; CI runs the whole
+	// suite with it forced on so it cannot rot.
+	LegacyEval bool
+	// ExecWorkers caps the goroutines the plan executor may use for one
+	// query (step partitions, parallel plan branches, per-series
+	// partitions). Zero picks min(GOMAXPROCS, 16); 1 forces sequential
+	// execution.
+	ExecWorkers int
 }
 
-// DefaultEngineOptions mirrors Prometheus defaults.
+// DefaultEngineOptions mirrors Prometheus defaults. Setting
+// DIO_PROMQL_LEGACY (any non-empty value) forces LegacyEval, giving CI a
+// matrix leg that exercises the oracle evaluator everywhere; tests that
+// construct EngineOptions explicitly are unaffected.
 func DefaultEngineOptions() EngineOptions {
-	return EngineOptions{LookbackDelta: 5 * time.Minute, MaxSamples: 50_000_000, Timeout: 2 * time.Minute, MaxConcurrent: 20}
+	o := EngineOptions{LookbackDelta: 5 * time.Minute, MaxSamples: 50_000_000, Timeout: 2 * time.Minute, MaxConcurrent: 20}
+	if os.Getenv("DIO_PROMQL_LEGACY") != "" {
+		o.LegacyEval = true
+	}
+	return o
 }
 
 // Hooks observe engine behaviour without coupling evaluation to any
@@ -75,19 +94,97 @@ type Engine struct {
 	opts  EngineOptions
 	gate  chan struct{}
 	hooks Hooks
+
+	// Compiled plans are cached by canonical expression string: plans
+	// store scan hints as offsets relative to the evaluation range, so
+	// one plan serves every timestamp — dashboard panels repeating the
+	// same PromQL share a single planner pass.
+	planMu sync.Mutex
+	plans  map[string]*compiledPlan
 }
+
+// maxCachedPlans bounds the plan cache; on overflow the cache is cleared
+// (plans are cheap to rebuild, an LRU would be overkill).
+const maxCachedPlans = 512
 
 // NewEngine returns an engine over db.
 func NewEngine(db *tsdb.DB, opts EngineOptions) *Engine {
 	if opts.LookbackDelta <= 0 {
 		opts.LookbackDelta = 5 * time.Minute
 	}
-	e := &Engine{db: db, opts: opts}
+	if opts.ExecWorkers <= 0 {
+		opts.ExecWorkers = runtime.GOMAXPROCS(0)
+		if opts.ExecWorkers > 16 {
+			opts.ExecWorkers = 16
+		}
+	}
+	e := &Engine{db: db, opts: opts, plans: make(map[string]*compiledPlan)}
 	if opts.MaxConcurrent > 0 {
 		e.gate = make(chan struct{}, opts.MaxConcurrent)
 	}
 	return e
 }
+
+// usePlanner reports whether this engine evaluates through the compiled
+// plan path (the default) instead of a legacy oracle.
+func (e *Engine) usePlanner() bool { return !e.opts.LegacyEval && !e.opts.StepwiseRange }
+
+// planFor compiles (or fetches from cache) the physical plan for expr.
+func (e *Engine) planFor(expr Expr) (*compiledPlan, error) {
+	key := expr.String()
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	if cp, ok := e.plans[key]; ok {
+		return cp, nil
+	}
+	plan, err := newPlan(expr, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := compilePlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.plans) >= maxCachedPlans {
+		e.plans = make(map[string]*compiledPlan)
+	}
+	e.plans[key] = cp
+	return cp, nil
+}
+
+// Explain parses input and returns the optimized plan rendered as an
+// operator tree, with the optimizer passes that applied. The same string
+// is attached to traces as the promql.plan attribute in compact form.
+func (e *Engine) Explain(input string) (string, error) {
+	expr, err := Parse(input)
+	if err != nil {
+		return "", err
+	}
+	return e.ExplainExpr(expr)
+}
+
+// ExplainExpr is Explain for an already parsed expression.
+func (e *Engine) ExplainExpr(expr Expr) (string, error) {
+	cp, err := e.planFor(expr)
+	if err != nil {
+		return "", err
+	}
+	return cp.plan.Tree(), nil
+}
+
+// ExplainCompact returns the one-line plan form — the same string the
+// executor attaches to trace spans as the promql.plan attribute.
+func (e *Engine) ExplainCompact(expr Expr) (string, error) {
+	cp, err := e.planFor(expr)
+	if err != nil {
+		return "", err
+	}
+	return cp.plan.Compact(), nil
+}
+
+// PlannerEnabled reports whether queries route through the plan-based
+// executor (false when LegacyEval or StepwiseRange forces an oracle path).
+func (e *Engine) PlannerEnabled() bool { return e.usePlanner() }
 
 // SetHooks installs observation hooks. Call before the engine serves
 // concurrent queries.
@@ -174,6 +271,9 @@ func (e *Engine) evalInstant(ctx context.Context, expr Expr, ts time.Time) (Valu
 		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
 		defer cancel()
 	}
+	if e.usePlanner() {
+		return e.execInstant(ctx, expr, ts)
+	}
 	ev := &evaluator{ctx: ctx, eng: e, ts: ts.UnixMilli()}
 	v, err := ev.eval(expr)
 	if e.hooks.OnSamples != nil {
@@ -210,6 +310,9 @@ func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.T
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
 		defer cancel()
+	}
+	if e.usePlanner() {
+		return e.execRange(ctx, expr, start, end, step)
 	}
 	var sel *selCache
 	if !e.opts.StepwiseRange {
@@ -469,101 +572,7 @@ func (ev *evaluator) evalRangeFunc(n *Call, arg Expr) (Value, error) {
 			break
 		}
 	}
-	out := make(Vector, 0, len(matrix))
-	for _, series := range matrix {
-		var v float64
-		ok := true
-		s := series.Samples
-		switch n.Func.Name {
-		case "rate":
-			v, ok = extrapolatedRate(s, start, end, true, true)
-		case "increase":
-			v, ok = extrapolatedRate(s, start, end, true, false)
-		case "delta":
-			v, ok = extrapolatedRate(s, start, end, false, false)
-		case "irate":
-			if len(s) < 2 {
-				ok = false
-				break
-			}
-			a, b := s[len(s)-2], s[len(s)-1]
-			dv := b.V - a.V
-			if dv < 0 { // counter reset
-				dv = b.V
-			}
-			dt := float64(b.T-a.T) / 1000
-			if dt <= 0 {
-				ok = false
-				break
-			}
-			v = dv / dt
-		case "idelta":
-			if len(s) < 2 {
-				ok = false
-				break
-			}
-			v = s[len(s)-1].V - s[len(s)-2].V
-		case "resets":
-			prev := s[0].V
-			for _, x := range s[1:] {
-				if x.V < prev {
-					v++
-				}
-				prev = x.V
-			}
-		case "changes":
-			prev := s[0].V
-			for _, x := range s[1:] {
-				if x.V != prev {
-					v++
-				}
-				prev = x.V
-			}
-		case "avg_over_time":
-			v = avgOverTime(s)
-		case "sum_over_time":
-			v = sumOverTime(s)
-		case "min_over_time":
-			v = minOverTime(s)
-		case "max_over_time":
-			v = maxOverTime(s)
-		case "count_over_time":
-			v = float64(len(s))
-		case "last_over_time":
-			v = s[len(s)-1].V
-		case "stddev_over_time":
-			v = math.Sqrt(stdvarOverTime(s))
-		case "stdvar_over_time":
-			v = stdvarOverTime(s)
-		case "quantile_over_time":
-			vals := make([]float64, len(s))
-			for i, x := range s {
-				vals[i] = x.V
-			}
-			v = quantile(scalarParam, vals)
-		case "deriv":
-			if len(s) < 2 {
-				ok = false
-				break
-			}
-			v, _ = linearRegression(s, s[0].T)
-		case "predict_linear":
-			if len(s) < 2 {
-				ok = false
-				break
-			}
-			slope, intercept := linearRegression(s, ev.ts)
-			v = intercept + slope*scalarParam
-		default:
-			return nil, fmt.Errorf("promql: unhandled range function %q", n.Func.Name)
-		}
-		if !ok {
-			continue
-		}
-		out = append(out, VSample{Labels: dropName(series.Labels), T: ev.ts, V: v})
-	}
-	out.Sort()
-	return out, nil
+	return applyRangeFunc(n.Func.Name, matrix, start, end, ev.ts, scalarParam)
 }
 
 func (ev *evaluator) evalVectorMath(n *Call) (Value, error) {
@@ -579,62 +588,7 @@ func (ev *evaluator) evalVectorMath(n *Call) (Value, error) {
 		}
 		scalars = append(scalars, s)
 	}
-	name := n.Func.Name
-	apply := func(v float64) float64 {
-		switch name {
-		case "abs":
-			return math.Abs(v)
-		case "ceil":
-			return math.Ceil(v)
-		case "floor":
-			return math.Floor(v)
-		case "exp":
-			return math.Exp(v)
-		case "ln":
-			return math.Log(v)
-		case "log2":
-			return math.Log2(v)
-		case "log10":
-			return math.Log10(v)
-		case "sqrt":
-			return math.Sqrt(v)
-		case "round":
-			to := 1.0
-			if len(scalars) > 0 {
-				to = scalars[0]
-			}
-			if to == 0 {
-				return math.NaN()
-			}
-			return math.Round(v/to) * to
-		case "clamp":
-			return math.Max(scalars[0], math.Min(scalars[1], v))
-		case "clamp_min":
-			return math.Max(scalars[0], v)
-		case "clamp_max":
-			return math.Min(scalars[0], v)
-		case "timestamp":
-			return 0 // replaced below
-		case "sort", "sort_desc":
-			return v // ordering handled after the map
-		}
-		return math.NaN()
-	}
-	out := make(Vector, 0, len(vec))
-	for _, s := range vec {
-		v := apply(s.V)
-		if name == "timestamp" {
-			v = float64(s.T) / 1000
-		}
-		out = append(out, VSample{Labels: dropName(s.Labels), T: s.T, V: v})
-	}
-	switch name {
-	case "sort":
-		sort.SliceStable(out, func(i, j int) bool { return out[i].V < out[j].V })
-	case "sort_desc":
-		sort.SliceStable(out, func(i, j int) bool { return out[i].V > out[j].V })
-	}
-	return out, nil
+	return applyVectorMath(n.Func.Name, vec, scalars), nil
 }
 
 // evalHistogramQuantile implements classic histogram quantiles over
@@ -648,34 +602,7 @@ func (ev *evaluator) evalHistogramQuantile(n *Call) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	groups := make(map[string][]bucket)
-	groupLabels := make(map[string]tsdb.Labels)
-	for _, s := range vec {
-		leStr := s.Labels.Get("le")
-		if leStr == "" {
-			continue
-		}
-		le, err := parseLE(leStr)
-		if err != nil {
-			continue
-		}
-		rest := s.Labels.Without("le", tsdb.MetricNameLabel)
-		key := rest.Key()
-		groups[key] = append(groups[key], bucket{le: le, count: s.V})
-		groupLabels[key] = rest
-	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make(Vector, 0, len(keys))
-	for _, k := range keys {
-		bs := groups[k]
-		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
-		out = append(out, VSample{Labels: groupLabels[k], T: ev.ts, V: bucketQuantile(phi, bs)})
-	}
-	return out, nil
+	return histogramQuantileVector(phi, vec, ev.ts), nil
 }
 
 func parseLE(s string) (float64, error) {
@@ -733,30 +660,20 @@ func (ev *evaluator) evalLabelReplace(n *Call) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	dst := n.Args[1].(*StringLiteral).Val
-	repl := n.Args[2].(*StringLiteral).Val
-	src := n.Args[3].(*StringLiteral).Val
-	pattern := n.Args[4].(*StringLiteral).Val
-	re, err := regexp.Compile("^(?:" + pattern + ")$")
-	if err != nil {
-		return nil, fmt.Errorf("promql: label_replace pattern: %w", err)
-	}
-	out := make(Vector, 0, len(vec))
-	for _, s := range vec {
-		val := s.Labels.Get(src)
-		idx := re.FindStringSubmatchIndex(val)
-		ls := s.Labels
-		if idx != nil {
-			res := re.ExpandString(nil, repl, val, idx)
-			if len(res) > 0 {
-				ls = ls.With(dst, string(res))
-			} else {
-				ls = ls.Without(dst)
-			}
+	var lit [4]string
+	for i := range lit {
+		s, err := stringLitArg(n.Args[i+1])
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, VSample{Labels: ls, T: s.T, V: s.V})
+		lit[i] = s
 	}
-	return out, nil
+	dst, repl, src, pattern := lit[0], lit[1], lit[2], lit[3]
+	re, err := compileLabelReplace(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return labelReplaceVector(vec, re, dst, repl, src), nil
 }
 
 // evalScalar evaluates an expression that must yield a scalar.
@@ -806,132 +723,7 @@ func (ev *evaluator) evalAggregate(n *AggregateExpr) (Value, error) {
 		}
 	}
 
-	groupOf := func(ls tsdb.Labels) tsdb.Labels {
-		if n.Without {
-			drop := append([]string{tsdb.MetricNameLabel}, n.Grouping...)
-			return ls.Without(drop...)
-		}
-		if len(n.Grouping) == 0 {
-			return nil
-		}
-		return ls.Keep(n.Grouping...)
-	}
-
-	type group struct {
-		labels tsdb.Labels
-		vals   []float64
-		elems  Vector // for topk/bottomk
-	}
-	groups := make(map[string]*group)
-	var order []string
-	for _, s := range vec {
-		gl := groupOf(s.Labels)
-		key := gl.Key()
-		g, ok := groups[key]
-		if !ok {
-			g = &group{labels: gl}
-			groups[key] = g
-			order = append(order, key)
-		}
-		if n.Op == AggCountValues {
-			g.elems = append(g.elems, s)
-		} else {
-			g.vals = append(g.vals, s.V)
-			g.elems = append(g.elems, s)
-		}
-	}
-	sort.Strings(order)
-
-	out := make(Vector, 0, len(groups))
-	for _, key := range order {
-		g := groups[key]
-		switch n.Op {
-		case AggTopK, AggBottomK:
-			k := int(param)
-			if k <= 0 {
-				continue
-			}
-			elems := append(Vector(nil), g.elems...)
-			if n.Op == AggTopK {
-				sort.SliceStable(elems, func(i, j int) bool { return elems[i].V > elems[j].V })
-			} else {
-				sort.SliceStable(elems, func(i, j int) bool { return elems[i].V < elems[j].V })
-			}
-			if len(elems) > k {
-				elems = elems[:k]
-			}
-			for _, e := range elems {
-				out = append(out, VSample{Labels: e.Labels, T: ev.ts, V: e.V})
-			}
-			continue
-		case AggCountValues:
-			counts := make(map[string]int)
-			for _, e := range g.elems {
-				counts[formatFloat(e.V)]++
-			}
-			vals := make([]string, 0, len(counts))
-			for v := range counts {
-				vals = append(vals, v)
-			}
-			sort.Strings(vals)
-			for _, v := range vals {
-				out = append(out, VSample{Labels: g.labels.With(strParam, v), T: ev.ts, V: float64(counts[v])})
-			}
-			continue
-		}
-		var v float64
-		switch n.Op {
-		case AggSum:
-			for _, x := range g.vals {
-				v += x
-			}
-		case AggAvg:
-			for _, x := range g.vals {
-				v += x
-			}
-			v /= float64(len(g.vals))
-		case AggMin:
-			v = g.vals[0]
-			for _, x := range g.vals[1:] {
-				if x < v {
-					v = x
-				}
-			}
-		case AggMax:
-			v = g.vals[0]
-			for _, x := range g.vals[1:] {
-				if x > v {
-					v = x
-				}
-			}
-		case AggCount:
-			v = float64(len(g.vals))
-		case AggGroup:
-			v = 1
-		case AggStddev, AggStdvar:
-			var mean float64
-			for _, x := range g.vals {
-				mean += x
-			}
-			mean /= float64(len(g.vals))
-			var sq float64
-			for _, x := range g.vals {
-				d := x - mean
-				sq += d * d
-			}
-			v = sq / float64(len(g.vals))
-			if n.Op == AggStddev {
-				v = math.Sqrt(v)
-			}
-		case AggQuantile:
-			v = quantile(param, append([]float64(nil), g.vals...))
-		default:
-			return nil, fmt.Errorf("promql: unhandled aggregation %s", n.Op)
-		}
-		out = append(out, VSample{Labels: g.labels, T: ev.ts, V: v})
-	}
-	out.Sort()
-	return out, nil
+	return aggregateVector(n, vec, param, strParam, ev.ts)
 }
 
 // --- binary operators ----------------------------------------------------
@@ -945,37 +737,7 @@ func (ev *evaluator) evalBinary(n *BinaryExpr) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n.Op.isSetOp() {
-		lvec, lok := lv.(Vector)
-		rvec, rok := rv.(Vector)
-		if !lok || !rok {
-			return nil, fmt.Errorf("promql: set operator %s requires vectors", n.Op)
-		}
-		return evalSetOp(n, lvec, rvec), nil
-	}
-	switch l := lv.(type) {
-	case Scalar:
-		switch r := rv.(type) {
-		case Scalar:
-			v, keep := binArith(n.Op, l.V, r.V, n.ReturnBool)
-			if !keep {
-				// Scalar comparisons without bool are rejected at parse
-				// time; keep=false cannot happen here, but be safe.
-				return Scalar{T: ev.ts, V: math.NaN()}, nil
-			}
-			return Scalar{T: ev.ts, V: v}, nil
-		case Vector:
-			return vectorScalarOp(n, r, l.V, true, ev.ts), nil
-		}
-	case Vector:
-		switch r := rv.(type) {
-		case Scalar:
-			return vectorScalarOp(n, l, r.V, false, ev.ts), nil
-		case Vector:
-			return evalVectorVector(n, l, r, ev.ts)
-		}
-	}
-	return nil, fmt.Errorf("promql: unsupported operand types for %s", n.Op)
+	return applyBinary(n, lv, rv, ev.ts)
 }
 
 // binArith applies op to two floats. keep reports whether a comparison

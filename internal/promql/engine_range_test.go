@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"dio/internal/tsdb"
 )
 
 // rangeCorpus exercises every evaluation shape that touches storage:
@@ -38,16 +40,37 @@ var rangeCorpus = []string{
 	"scalar(sum(smf_pdu_session_active)) * 2",
 }
 
-// TestQueryRangeEquivalence: the select-once cursor path must produce
-// byte-identical matrices to the legacy stepwise path (full storage
-// selection per step) for every corpus query, over windows that include
-// steps before data begins and steps past its end (lookback/staleness).
+// equivalenceEngines returns the three evaluation paths that must agree
+// byte-for-byte on every query: the plan-based executor (default), the
+// legacy select-once tree-walker, and the legacy stepwise tree-walker.
+// Options are constructed explicitly so the test pins all three paths even
+// when DIO_PROMQL_LEGACY is set in the environment.
+func equivalenceEngines(db *tsdb.DB) map[string]*Engine {
+	planned := DefaultEngineOptions()
+	planned.LegacyEval = false
+	planned.StepwiseRange = false
+
+	legacy := planned
+	legacy.LegacyEval = true
+
+	stepwise := planned
+	stepwise.StepwiseRange = true
+
+	return map[string]*Engine{
+		"planner":  NewEngine(db, planned),
+		"legacy":   NewEngine(db, legacy),
+		"stepwise": NewEngine(db, stepwise),
+	}
+}
+
+// TestQueryRangeEquivalence: the plan-based executor, the legacy select-once
+// cursor path, and the legacy stepwise path (full storage selection per
+// step) must produce byte-identical matrices for every corpus query, over
+// windows that include steps before data begins and steps past its end
+// (lookback/staleness).
 func TestQueryRangeEquivalence(t *testing.T) {
 	db, end := testDB(t)
-	fast := NewEngine(db, DefaultEngineOptions())
-	slowOpts := DefaultEngineOptions()
-	slowOpts.StepwiseRange = true
-	slow := NewEngine(db, slowOpts)
+	engines := equivalenceEngines(db)
 
 	windows := []struct {
 		name       string
@@ -61,17 +84,54 @@ func TestQueryRangeEquivalence(t *testing.T) {
 	}
 	for _, w := range windows {
 		for _, q := range rangeCorpus {
-			m1, err1 := fast.QueryRange(context.Background(), q, w.start, w.end, w.step)
-			m2, err2 := slow.QueryRange(context.Background(), q, w.start, w.end, w.step)
-			if (err1 == nil) != (err2 == nil) {
-				t.Fatalf("%s %q: error mismatch: select-once=%v stepwise=%v", w.name, q, err1, err2)
+			ref, refErr := engines["stepwise"].QueryRange(context.Background(), q, w.start, w.end, w.step)
+			for name, eng := range engines {
+				if name == "stepwise" {
+					continue
+				}
+				m, err := eng.QueryRange(context.Background(), q, w.start, w.end, w.step)
+				if (err == nil) != (refErr == nil) {
+					t.Fatalf("%s %q: error mismatch: %s=%v stepwise=%v", w.name, q, name, err, refErr)
+				}
+				if err != nil {
+					if err.Error() != refErr.Error() {
+						t.Errorf("%s %q: error text differs\n%s:   %v\nstepwise: %v", w.name, q, name, err, refErr)
+					}
+					continue
+				}
+				if got, want := m.String(), ref.String(); got != want {
+					t.Errorf("%s %q: matrices differ\n%s:\n%s\nstepwise:\n%s", w.name, q, name, got, want)
+				}
 			}
-			if err1 != nil {
-				continue
-			}
-			if got, want := m1.String(), m2.String(); got != want {
-				t.Errorf("%s %q: matrices differ\nselect-once:\n%s\nstepwise:\n%s", w.name, q, got, want)
-			}
+		}
+	}
+}
+
+// TestQueryRangeEquivalenceSingleWorker pins that the parallel executor and
+// a single-worker executor (no partitioning, no branch parallelism) render
+// identically — parallelism must be invisible in results.
+func TestQueryRangeEquivalenceSingleWorker(t *testing.T) {
+	db, end := testDB(t)
+	par := DefaultEngineOptions()
+	par.LegacyEval = false
+	par.StepwiseRange = false
+	par.ExecWorkers = 8
+	seq := par
+	seq.ExecWorkers = 1
+	pe, se := NewEngine(db, par), NewEngine(db, seq)
+
+	start := end.Add(-25 * time.Minute)
+	for _, q := range rangeCorpus {
+		m1, err1 := pe.QueryRange(context.Background(), q, start, end, 5*time.Second)
+		m2, err2 := se.QueryRange(context.Background(), q, start, end, 5*time.Second)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%q: error mismatch: workers=8 %v workers=1 %v", q, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if got, want := m1.String(), m2.String(); got != want {
+			t.Errorf("%q: matrices differ\nworkers=8:\n%s\nworkers=1:\n%s", q, got, want)
 		}
 	}
 }

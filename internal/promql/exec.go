@@ -1,0 +1,557 @@
+package promql
+
+// exec.go — the third plan-based execution layer (see logical.go,
+// physical.go). The executor prefetches every deduplicated scan with one
+// tsdb.SelectBatch call, then drives the physical operator tree:
+//
+//   - Range queries split their steps into contiguous partitions, one
+//     goroutine each, every partition owning private scan cursors that
+//     advance monotonically through its steps (the select-once cursor
+//     discipline from selcache.go, parallelised). Results land in a
+//     slice indexed by global step, so assembly order — and therefore the
+//     rendered output — is byte-identical to sequential evaluation
+//     regardless of which partition finishes first (the deterministic
+//     in-order merge rule).
+//   - Instant queries run a single stateless part (binary-search scans,
+//     no shared cursor state), which additionally unlocks branch-parallel
+//     binary operands and per-series-parallel range functions: both are
+//     race-free because stateless reads share nothing and outputs merge
+//     into position-indexed slots.
+//
+// Error determinism: on failure the executor reports the error of the
+// earliest failing step, preferring non-cancellation errors (sibling
+// partitions are cancelled once one fails, and their context.Canceled
+// must not mask the root cause) — the same rule the dashboard renderer
+// uses for its panel pool.
+//
+// Sample budgets match the legacy evaluator exactly: each range step gets
+// a fresh MaxSamples budget, and subqueries inherit and extend their
+// step's budget. Instant queries use one budget guarded by an atomic so
+// parallel branches share it safely.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dio/internal/obs"
+	"dio/internal/tsdb"
+)
+
+// minStepsPerPartition keeps partitions coarse enough that cursor reuse
+// still amortises: splitting fewer steps than this per worker costs more
+// in setup than it saves.
+const minStepsPerPartition = 8
+
+// minSeriesForParallel gates per-series-parallel range functions; tiny
+// matrices are cheaper sequentially.
+const minSeriesForParallel = 8
+
+// execState is the shared, read-mostly state of one query execution:
+// prefetched series per scan, the fingerprint key cache, and the atomic
+// stat counters partitions update.
+type execState struct {
+	eng        *Engine
+	cp         *compiledPlan
+	series     [][]tsdb.SeriesView
+	keys       map[labelsRef]string
+	lookbackMs int64
+
+	services     []int64 // per scan, atomic: operator reads served
+	resets       atomic.Int64
+	totalSamples atomic.Int64
+
+	workers int
+	sem     chan struct{} // bounds extra goroutines beyond the caller's
+}
+
+// newExecState prefetches every scan of the plan for an evaluation range
+// [startMs, endMs] and seeds the fingerprint key cache.
+func (e *Engine) newExecState(cp *compiledPlan, startMs, endMs int64) *execState {
+	st := &execState{
+		eng:        e,
+		cp:         cp,
+		keys:       make(map[labelsRef]string),
+		lookbackMs: e.opts.LookbackDelta.Milliseconds(),
+		services:   make([]int64, len(cp.plan.scans)),
+		workers:    e.opts.ExecWorkers,
+	}
+	st.series = e.db.SelectBatch(cp.plan.selectHints(startMs, endMs))
+	for _, views := range st.series {
+		for _, sv := range views {
+			if len(sv.Labels) > 0 {
+				st.keys[labelsRef{&sv.Labels[0], len(sv.Labels)}] = sv.Fingerprint
+			}
+		}
+	}
+	if st.workers > 1 {
+		st.sem = make(chan struct{}, st.workers-1)
+	}
+	return st
+}
+
+// acquireWorker reserves a worker slot for an extra goroutine; callers
+// fall back to inline evaluation when the pool is saturated, so plan
+// recursion can never deadlock on its own semaphore.
+func (st *execState) acquireWorker() bool {
+	if st.sem == nil {
+		return false
+	}
+	select {
+	case st.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (st *execState) releaseWorker() { <-st.sem }
+
+// stats summarises the execution for the engine's observation hooks:
+// misses are the distinct storage fetches (one per deduplicated scan),
+// hits the operator reads served beyond each scan's first.
+func (st *execState) stats() RangeStats {
+	services := int64(0)
+	for i := range st.services {
+		services += atomic.LoadInt64(&st.services[i])
+	}
+	misses := len(st.services)
+	hits := int(services) - misses
+	if hits < 0 {
+		hits = 0
+	}
+	return RangeStats{SelectorHits: hits, SelectorMisses: misses, CursorResets: int(st.resets.Load())}
+}
+
+// useCursor is the per-partition cursor state of one selector use site
+// (the partitioned analogue of selEntry in selcache.go).
+type useCursor struct {
+	inst     []int
+	instT    int64
+	instPos  bool
+	lo, hi   []int
+	winStart int64
+	winEnd   int64
+	winPos   bool
+}
+
+// part drives the operator tree for a contiguous run of steps (cursor
+// mode) or a single instant (stateless parallel mode).
+type part struct {
+	st  *execState
+	ctx context.Context
+	// samples is the per-step budget in sequential cursor mode; asamples
+	// replaces it in parallel instant mode.
+	samples  int
+	asamples *atomic.Int64
+	// cursors, when non-nil, holds one slot per selector use site and
+	// enables monotone cursor scans; nil means stateless binary search.
+	cursors   []useCursor
+	seriesPar bool
+	branchPar bool
+}
+
+func (st *execState) newCursorPart(ctx context.Context) *part {
+	return &part{st: st, ctx: ctx, cursors: make([]useCursor, st.cp.nCursors)}
+}
+
+func (st *execState) newInstantPart(ctx context.Context) *part {
+	par := st.workers > 1
+	return &part{st: st, ctx: ctx, asamples: new(atomic.Int64), seriesPar: par, branchPar: par}
+}
+
+// eval runs one operator, enforcing cancellation at every node like the
+// legacy evaluator's eval dispatcher.
+func (p *part) eval(op physOp, ts int64) (Value, error) {
+	if err := p.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return op.exec(p, ts)
+}
+
+func (p *part) account(n int) error {
+	max := p.st.eng.opts.MaxSamples
+	if p.asamples != nil {
+		total := p.asamples.Add(int64(n))
+		if max > 0 && total > int64(max) {
+			return ErrTooManySamples
+		}
+	} else {
+		p.samples += n
+		if max > 0 && p.samples > max {
+			return ErrTooManySamples
+		}
+	}
+	return p.ctx.Err()
+}
+
+// scalar evaluates an operator that must yield a scalar.
+func (p *part) scalar(op physOp, ts int64) (float64, error) {
+	v, err := p.eval(op, ts)
+	if err != nil {
+		return 0, err
+	}
+	s, ok := v.(Scalar)
+	if !ok {
+		return 0, fmt.Errorf("promql: expected scalar, got %s", v.ValueType())
+	}
+	return s.V, nil
+}
+
+// vector evaluates an operator that must yield an instant vector.
+func (p *part) vector(op physOp, ts int64) (Vector, error) {
+	v, err := p.eval(op, ts)
+	if err != nil {
+		return nil, err
+	}
+	vec, ok := v.(Vector)
+	if !ok {
+		return nil, fmt.Errorf("promql: expected instant vector, got %s", v.ValueType())
+	}
+	return vec, nil
+}
+
+// keyOf mirrors selCache.keyOf: stored series labels resolve to their
+// cached fingerprint, fresh label sets compute their key.
+func (p *part) keyOf(ls tsdb.Labels) string {
+	if len(ls) == 0 {
+		return ls.Key()
+	}
+	if k, ok := p.st.keys[labelsRef{&ls[0], len(ls)}]; ok {
+		return k
+	}
+	return ls.Key()
+}
+
+// instant serves a selector read at adjusted timestamp ts, stamping
+// samples with outT — cursor-based when the part owns cursors, stateless
+// binary search otherwise. Results are in fingerprint order because the
+// prefetch is.
+func (p *part) instant(scanIdx, cur int, ts, outT int64) Vector {
+	series := p.st.series[scanIdx]
+	atomic.AddInt64(&p.st.services[scanIdx], 1)
+	lookback := p.st.lookbackMs
+	out := make(Vector, 0, len(series))
+	if p.cursors != nil {
+		cu := &p.cursors[cur]
+		if cu.inst == nil {
+			cu.inst = make([]int, len(series))
+		}
+		scan := cu.instPos && ts >= cu.instT
+		if cu.instPos && ts < cu.instT {
+			p.st.resets.Add(1)
+		}
+		cu.instT, cu.instPos = ts, true
+		for i, sv := range series {
+			idx := seekAfter(sv.Samples, cu.inst[i], ts, scan)
+			cu.inst[i] = idx
+			if idx == 0 {
+				continue
+			}
+			smp := sv.Samples[idx-1]
+			if smp.T < ts-lookback {
+				continue
+			}
+			out = append(out, VSample{Labels: sv.Labels, T: outT, V: smp.V})
+		}
+		return out
+	}
+	for _, sv := range series {
+		idx := seekAfter(sv.Samples, 0, ts, false)
+		if idx == 0 {
+			continue
+		}
+		smp := sv.Samples[idx-1]
+		if smp.T < ts-lookback {
+			continue
+		}
+		out = append(out, VSample{Labels: sv.Labels, T: outT, V: smp.V})
+	}
+	return out
+}
+
+// windows serves a matrix window (start, end] plus total sample count.
+func (p *part) windows(scanIdx, cur int, start, end int64) (Matrix, int) {
+	series := p.st.series[scanIdx]
+	atomic.AddInt64(&p.st.services[scanIdx], 1)
+	out := make(Matrix, 0, len(series))
+	total := 0
+	if p.cursors != nil {
+		cu := &p.cursors[cur]
+		if cu.lo == nil {
+			cu.lo = make([]int, len(series))
+			cu.hi = make([]int, len(series))
+		}
+		scan := cu.winPos && start >= cu.winStart && end >= cu.winEnd
+		if cu.winPos && !scan {
+			p.st.resets.Add(1)
+		}
+		cu.winStart, cu.winEnd, cu.winPos = start, end, true
+		for i, sv := range series {
+			lo := seekAfter(sv.Samples, cu.lo[i], start, scan)
+			hi := seekAfter(sv.Samples, cu.hi[i], end, scan)
+			cu.lo[i], cu.hi[i] = lo, hi
+			if hi <= lo {
+				continue
+			}
+			out = append(out, MSeries{Labels: sv.Labels, Samples: sv.Samples[lo:hi]})
+			total += hi - lo
+		}
+		return out, total
+	}
+	for _, sv := range series {
+		lo := seekAfter(sv.Samples, 0, start, false)
+		hi := seekAfter(sv.Samples, 0, end, false)
+		if hi <= lo {
+			continue
+		}
+		out = append(out, MSeries{Labels: sv.Labels, Samples: sv.Samples[lo:hi]})
+		total += hi - lo
+	}
+	return out, total
+}
+
+// rangeFuncParallel fans one range function out across series chunks,
+// then assembles results in series order — position-indexed slots keep
+// the output identical to the sequential kernel.
+func (p *part) rangeFuncParallel(name string, matrix Matrix, start, end, ts int64, scalarParam float64) (Vector, error) {
+	type res struct {
+		v   float64
+		ok  bool
+		err error
+	}
+	results := make([]res, len(matrix))
+	nw := p.st.workers
+	if nw > len(matrix) {
+		nw = len(matrix)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(matrix) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(matrix) {
+			hi = len(matrix)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				v, ok, err := rangeSeriesValue(name, matrix[i].Samples, start, end, ts, scalarParam)
+				results[i] = res{v: v, ok: ok, err: err}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	out := make(Vector, 0, len(matrix))
+	for i, series := range matrix {
+		r := results[i]
+		if r.err != nil {
+			return nil, r.err
+		}
+		if !r.ok {
+			continue
+		}
+		out = append(out, VSample{Labels: dropName(series.Labels), T: ts, V: r.v})
+	}
+	out.Sort()
+	return out, nil
+}
+
+// --- engine entry points -------------------------------------------------
+
+// execInstant evaluates one instant through the compiled plan.
+func (e *Engine) execInstant(ctx context.Context, expr Expr, ts time.Time) (Value, error) {
+	cp, err := e.planFor(expr)
+	if err != nil {
+		return nil, err
+	}
+	tsMs := ts.UnixMilli()
+	st := e.newExecState(cp, tsMs, tsMs)
+	p := st.newInstantPart(ctx)
+	v, err := p.eval(cp.root, tsMs)
+	samples := int(p.asamples.Load())
+	if e.hooks.OnSamples != nil {
+		e.hooks.OnSamples(samples)
+	}
+	if sp := obs.SpanFrom(ctx); sp.Recording() {
+		sp.SetAttr("promql.samples_loaded", samples)
+		sp.SetAttr("promql.plan", cp.plan.Compact())
+	}
+	return v, err
+}
+
+// numPartitions picks the partition count for a step range.
+func numPartitions(nSteps, workers int) int {
+	if workers <= 1 || nSteps < 2*minStepsPerPartition {
+		return 1
+	}
+	n := nSteps / minStepsPerPartition
+	if n > workers {
+		n = workers
+	}
+	return n
+}
+
+// stepError records the earliest failing step of one partition.
+type stepError struct {
+	idx int
+	err error
+}
+
+// execRange evaluates a range query through the compiled plan.
+func (e *Engine) execRange(ctx context.Context, expr Expr, start, end time.Time, step time.Duration) (Matrix, error) {
+	cp, err := e.planFor(expr)
+	if err != nil {
+		return nil, err
+	}
+	var steps []int64
+	for t := start; !t.After(end); t = t.Add(step) {
+		steps = append(steps, t.UnixMilli())
+	}
+	st := e.newExecState(cp, steps[0], steps[len(steps)-1])
+	if e.hooks.OnRangeEval != nil {
+		defer func() { e.hooks.OnRangeEval(st.stats()) }()
+	}
+	defer func() {
+		if sp := obs.SpanFrom(ctx); sp.Recording() {
+			sp.SetAttr("promql.samples_loaded", int(st.totalSamples.Load()))
+			sp.SetAttr("promql.steps", len(steps))
+			rs := st.stats()
+			sp.SetAttr("promql.selector_cache", map[string]int{
+				"hits": rs.SelectorHits, "misses": rs.SelectorMisses,
+			})
+			sp.SetAttr("promql.plan", cp.plan.Compact())
+		}
+	}()
+
+	results := make([]Value, len(steps))
+	nparts := numPartitions(len(steps), st.workers)
+	if nparts <= 1 {
+		p := st.newCursorPart(ctx)
+		for i, ts := range steps {
+			if err := p.runStep(cp.root, ts, results, i); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := st.runPartitions(ctx, cp.root, steps, results, nparts); err != nil {
+		return nil, err
+	}
+
+	// Deterministic in-order merge: accumulate step vectors in global
+	// step order, exactly as the sequential legacy loop does.
+	acc := make(map[string]*MSeries)
+	var order []string
+	for i, ts := range steps {
+		var vec Vector
+		switch x := results[i].(type) {
+		case Vector:
+			vec = x
+		case Scalar:
+			vec = Vector{{Labels: nil, T: x.T, V: x.V}}
+		default:
+			return nil, fmt.Errorf("promql: range query requires a vector or scalar expression")
+		}
+		for _, s := range vec {
+			key := st.keyOf(s.Labels)
+			ms, ok := acc[key]
+			if !ok {
+				ms = &MSeries{Labels: s.Labels}
+				acc[key] = ms
+				order = append(order, key)
+			}
+			ms.Samples = append(ms.Samples, tsdb.Sample{T: ts, V: s.V})
+		}
+	}
+	sort.Strings(order)
+	out := make(Matrix, 0, len(order))
+	for _, k := range order {
+		out = append(out, *acc[k])
+	}
+	return out, nil
+}
+
+// keyOf on the shared state (assembly runs after all partitions joined).
+func (st *execState) keyOf(ls tsdb.Labels) string {
+	if len(ls) == 0 {
+		return ls.Key()
+	}
+	if k, ok := st.keys[labelsRef{&ls[0], len(ls)}]; ok {
+		return k
+	}
+	return ls.Key()
+}
+
+// runStep evaluates one step with a fresh per-step sample budget and
+// stores the value at its global index.
+func (p *part) runStep(root physOp, ts int64, results []Value, idx int) error {
+	p.samples = 0
+	v, err := p.eval(root, ts)
+	p.st.totalSamples.Add(int64(p.samples))
+	if hook := p.st.eng.hooks.OnSamples; hook != nil {
+		hook(p.samples)
+	}
+	if err != nil {
+		return err
+	}
+	results[idx] = v
+	return nil
+}
+
+// runPartitions splits steps into contiguous runs, one goroutine each.
+// The first failing partition cancels its siblings; the reported error is
+// the earliest failing step's, preferring non-cancellation causes.
+func (st *execState) runPartitions(ctx context.Context, root physOp, steps []int64, results []Value, nparts int) error {
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]stepError, nparts)
+	var wg sync.WaitGroup
+	base := len(steps) / nparts
+	rem := len(steps) % nparts
+	lo := 0
+	for w := 0; w < nparts; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		hi := lo + size
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p := st.newCursorPart(pctx)
+			errs[w] = stepError{idx: -1}
+			for i := lo; i < hi; i++ {
+				if err := p.runStep(root, steps[i], results, i); err != nil {
+					errs[w] = stepError{idx: i, err: err}
+					cancel()
+					return
+				}
+			}
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	best := stepError{idx: -1}
+	for _, se := range errs {
+		if se.idx < 0 {
+			continue
+		}
+		better := best.idx < 0 ||
+			(!isCancellation(se.err) && isCancellation(best.err)) ||
+			(isCancellation(se.err) == isCancellation(best.err) && se.idx < best.idx)
+		if better {
+			best = se
+		}
+	}
+	return best.err
+}
+
+// isCancellation reports whether err is the context poison spread by a
+// sibling partition's failure rather than a root cause.
+func isCancellation(err error) bool { return err == context.Canceled }

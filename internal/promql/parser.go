@@ -9,27 +9,53 @@ import (
 )
 
 // ParseError describes a syntax or type error with its source position.
+// Pos is the byte offset of the offending token; Line and Col (both
+// 1-based, Col in bytes) locate it for humans — sandbox verdicts and
+// trace events use them to pinpoint where generated PromQL went wrong.
 type ParseError struct {
-	Pos int
-	Msg string
+	Pos  int
+	Line int
+	Col  int
+	Msg  string
 }
 
 // Error implements error.
-func (e *ParseError) Error() string { return fmt.Sprintf("parse error at %d: %s", e.Pos, e.Msg) }
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// position fills Line/Col from Pos against the original input.
+func (e *ParseError) position(input string) *ParseError {
+	pos := e.Pos
+	if pos > len(input) {
+		pos = len(input)
+	}
+	e.Line = 1 + strings.Count(input[:pos], "\n")
+	if i := strings.LastIndexByte(input[:pos], '\n'); i >= 0 {
+		e.Col = pos - i
+	} else {
+		e.Col = pos + 1
+	}
+	return e
+}
 
 // Parse parses a PromQL expression.
 func Parse(input string) (Expr, error) {
 	toks := Lex(input)
 	if last := toks[len(toks)-1]; last.Type == ERROR {
-		return nil, &ParseError{Pos: last.Pos, Msg: last.Text}
+		return nil, (&ParseError{Pos: last.Pos, Msg: last.Text}).position(input)
 	}
 	p := &parser{toks: toks}
 	expr, err := p.parseExpr(0)
 	if err != nil {
+		if pe, ok := err.(*ParseError); ok {
+			return nil, pe.position(input)
+		}
 		return nil, err
 	}
 	if p.peek().Type != EOF {
-		return nil, p.errf("unexpected %q after expression", p.peek().Text)
+		pe := p.errf("unexpected %q after expression", p.peek().Text).(*ParseError)
+		return nil, pe.position(input)
 	}
 	if err := checkTypes(expr); err != nil {
 		return nil, err

@@ -1,0 +1,67 @@
+package promql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseErrorPositions pins the error message shape — "parse error at
+// <line>:<col>: <msg>" with 1-based line and byte column — so downstream
+// consumers (sandbox verdicts, trace events) can rely on it.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		input string
+		want  string // full message for deterministic cases
+		line  int
+		col   int
+	}{
+		{
+			input: `vector(1) 7`,
+			want:  `parse error at 1:11: unexpected "7" after expression`,
+			line:  1, col: 11,
+		},
+		{
+			// Multi-line input: the column restarts after each newline.
+			input: "vector(1)\n+\nvector(1) 7",
+			want:  `parse error at 3:11: unexpected "7" after expression`,
+			line:  3, col: 11,
+		},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.input)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", c.input)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Parse(%q) error is %T, want *ParseError", c.input, err)
+		}
+		if pe.Line != c.line || pe.Col != c.col {
+			t.Errorf("Parse(%q) position = %d:%d, want %d:%d", c.input, pe.Line, pe.Col, c.line, c.col)
+		}
+		if got := err.Error(); got != c.want {
+			t.Errorf("Parse(%q) error = %q, want %q", c.input, got, c.want)
+		}
+	}
+
+	// Every syntactic error carries a position prefix, whatever the message.
+	for _, input := range []string{"sum(", "foo{", "rate(x[", "1 +", "foo{bar=}", "(((", "x["} {
+		_, err := Parse(input)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", input)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			// Type-check errors are not positioned; only syntax errors are
+			// required to be. All inputs above are syntax errors.
+			t.Fatalf("Parse(%q) error is %T (%v), want *ParseError", input, err, err)
+		}
+		if pe.Line < 1 || pe.Col < 1 {
+			t.Errorf("Parse(%q) position %d:%d not 1-based", input, pe.Line, pe.Col)
+		}
+		if !strings.HasPrefix(err.Error(), "parse error at ") {
+			t.Errorf("Parse(%q) error %q lacks position prefix", input, err)
+		}
+	}
+}

@@ -23,10 +23,15 @@ const (
 
 // AuditEntry records one query submission.
 type AuditEntry struct {
-	Time     time.Time     `json:"time"`
-	Query    string        `json:"query"`
-	Outcome  Outcome       `json:"outcome"`
-	Error    string        `json:"error,omitempty"`
+	Time    time.Time `json:"time"`
+	Query   string    `json:"query"`
+	Outcome Outcome   `json:"outcome"`
+	Error   string    `json:"error,omitempty"`
+	// Plan is the compact execution plan the engine compiled for the
+	// query (empty when the query never reached the planner, or when a
+	// legacy oracle path is forced on): the reviewable record of what
+	// actually ran, not just what was asked.
+	Plan     string        `json:"plan,omitempty"`
 	Duration time.Duration `json:"duration_ns"`
 }
 
@@ -53,11 +58,11 @@ func NewAuditLog(limit int, clock func() time.Time) *AuditLog {
 }
 
 // record appends one entry, evicting the oldest at capacity.
-func (a *AuditLog) record(query string, outcome Outcome, err error, d time.Duration) {
+func (a *AuditLog) record(query string, plan string, outcome Outcome, err error, d time.Duration) {
 	if a == nil {
 		return
 	}
-	e := AuditEntry{Time: a.clock(), Query: query, Outcome: outcome, Duration: d}
+	e := AuditEntry{Time: a.clock(), Query: query, Plan: plan, Outcome: outcome, Duration: d}
 	if err != nil {
 		e.Error = err.Error()
 	}

@@ -213,25 +213,40 @@ func annotate(ctx context.Context, query string, outcome Outcome, err error) {
 // Execute parses, vets and evaluates query at ts.
 func (e *Executor) Execute(ctx context.Context, query string, ts time.Time) (promql.Value, error) {
 	started := time.Now()
-	v, err := e.execute(ctx, query, ts)
+	v, plan, err := e.execute(ctx, query, ts)
 	d := time.Since(started)
 	outcome := outcomeOf(err)
-	e.audit.record(query, outcome, err, d)
+	e.audit.record(query, plan, outcome, err, d)
 	e.observe(outcome, err, d)
 	annotate(ctx, query, outcome, err)
 	return v, err
 }
 
-func (e *Executor) execute(ctx context.Context, query string, ts time.Time) (promql.Value, error) {
+// explain returns the compact execution plan for an already vetted
+// expression, empty when a legacy oracle path is forced on (then no plan
+// runs, and the audit log must not claim one did).
+func (e *Executor) explain(expr promql.Expr) string {
+	if !e.engine.PlannerEnabled() {
+		return ""
+	}
+	plan, err := e.engine.ExplainCompact(expr)
+	if err != nil {
+		return ""
+	}
+	return plan
+}
+
+func (e *Executor) execute(ctx context.Context, query string, ts time.Time) (promql.Value, string, error) {
 	expr, err := promql.Parse(query)
 	if err != nil {
 		e.failed.Add(1)
-		return nil, err
+		return nil, "", err
 	}
 	if err := e.Vet(expr); err != nil {
 		e.rejected.Add(1)
-		return nil, err
+		return nil, "", err
 	}
+	plan := e.explain(expr)
 	if e.limits.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.limits.Timeout)
@@ -240,14 +255,14 @@ func (e *Executor) execute(ctx context.Context, query string, ts time.Time) (pro
 	v, err := e.engine.Eval(ctx, expr, ts)
 	if err != nil {
 		e.failed.Add(1)
-		return nil, err
+		return nil, plan, err
 	}
 	if vec, ok := v.(promql.Vector); ok && e.limits.MaxResultSeries > 0 && len(vec) > e.limits.MaxResultSeries {
 		e.rejected.Add(1)
-		return nil, fmt.Errorf("%w: result has %d series (limit %d)", ErrRejected, len(vec), e.limits.MaxResultSeries)
+		return nil, plan, fmt.Errorf("%w: result has %d series (limit %d)", ErrRejected, len(vec), e.limits.MaxResultSeries)
 	}
 	e.executed.Add(1)
-	return v, nil
+	return v, plan, nil
 }
 
 // ExecuteRange vets and evaluates a range query (dashboard panels).

@@ -3,6 +3,7 @@ package sandbox
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -183,5 +184,40 @@ func TestNilAuditIsNoop(t *testing.T) {
 	}
 	if ex.Audit() != nil {
 		t.Fatal("unexpected audit log")
+	}
+}
+
+// TestAuditRecordsPlan: executed queries carry the compact execution plan
+// the engine compiled for them; queries that never reach the planner
+// (parse failures, vetting rejections) carry none.
+func TestAuditRecordsPlan(t *testing.T) {
+	db, at := fixtureDB(t)
+	ex := New(db, DefaultLimits())
+	audit := NewAuditLog(8, nil)
+	ex.SetAudit(audit)
+
+	ex.Execute(context.Background(), "sum(rate(m_total[5m]))", at) // executed
+	ex.Execute(context.Background(), "sum(", at)                   // parse failure
+	ex.Execute(context.Background(), `sum({instance="a"})`, at)    // rejected
+
+	entries := audit.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if !ex.Engine().PlannerEnabled() {
+		// Legacy oracle forced (DIO_PROMQL_LEGACY CI leg): no plan runs,
+		// so the audit log must not claim one did.
+		for i, e := range entries {
+			if e.Plan != "" {
+				t.Errorf("entry %d carries plan %q with the planner off", i, e.Plan)
+			}
+		}
+		return
+	}
+	if want := "sum(rate(window[5m](scan#0)))"; !strings.Contains(entries[0].Plan, want) {
+		t.Errorf("executed entry plan = %q, want it to contain %q", entries[0].Plan, want)
+	}
+	if entries[1].Plan != "" || entries[2].Plan != "" {
+		t.Errorf("unplanned queries carry plans: %+v", entries[1:])
 	}
 }

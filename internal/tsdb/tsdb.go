@@ -314,6 +314,72 @@ func (db *DB) SelectSeries(matchers []*Matcher) []SeriesView {
 	return out
 }
 
+// SelectHint describes one selection of a batched SelectBatch call: the
+// matchers to satisfy plus an inclusive [MinT, MaxT] clamp on the sample
+// timestamps the caller will actually read. Query planners compute the
+// clamp from range hints (offsets, lookback, matrix windows) so the
+// returned views carry only the samples the plan can touch.
+type SelectHint struct {
+	Matchers []*Matcher
+	// MinT/MaxT bound the sample timestamps of interest, inclusive. Use
+	// math.MinInt64/math.MaxInt64 (or leave both zero via NoClamp) to
+	// disable clamping on either side.
+	MinT, MaxT int64
+}
+
+// NoClamp returns a SelectHint covering all of time for matchers.
+func NoClamp(matchers []*Matcher) SelectHint {
+	return SelectHint{Matchers: matchers, MinT: -(1<<63 - 1) - 1, MaxT: 1<<63 - 1}
+}
+
+// SelectBatch resolves several selections under one read lock: the
+// batched form of SelectSeries used by the query planner so merged
+// selectors hit the postings index once per query instead of once per
+// selector evaluation. Result i holds the views for hints[i], ordered by
+// fingerprint, with each view's samples clamped to [MinT, MaxT] (zero-copy
+// subslices of the stored samples).
+func (db *DB) SelectBatch(hints []SelectHint) [][]SeriesView {
+	out := make([][]SeriesView, len(hints))
+	if len(hints) == 0 {
+		return out
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for i, h := range hints {
+		var views []SeriesView
+		for _, key := range db.candidates(h.Matchers) {
+			s := db.series[key]
+			if !MatchLabels(s.Labels, h.Matchers) {
+				continue
+			}
+			smp := clampSamples(s.Samples, h.MinT, h.MaxT)
+			views = append(views, SeriesView{
+				Labels:      s.Labels,
+				Fingerprint: s.fp,
+				Samples:     smp[:len(smp):len(smp)],
+			})
+		}
+		out[i] = views
+	}
+	return out
+}
+
+// clampSamples returns the subslice of samples with MinT <= T <= MaxT.
+func clampSamples(samples []Sample, minT, maxT int64) []Sample {
+	lo := 0
+	if minT > -(1 << 62) {
+		lo = sort.Search(len(samples), func(i int) bool { return samples[i].T >= minT })
+	}
+	hi := len(samples)
+	if maxT < 1<<62 {
+		hi = sort.Search(len(samples), func(i int) bool { return samples[i].T > maxT })
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return samples[lo:hi]
+}
+
 // AllSeries returns a snapshot of every series (labels and copied
 // samples), ordered by label key. Intended for tests and export.
 func (db *DB) AllSeries() []SeriesRange {

@@ -411,3 +411,87 @@ func TestSeriesFingerprintCached(t *testing.T) {
 		t.Fatalf("fingerprint = %q", views[0].Fingerprint)
 	}
 }
+
+// TestSelectBatch: one batched call resolves several hinted selections,
+// each clamped, fingerprint-ordered, and independent of the others.
+func TestSelectBatch(t *testing.T) {
+	db := New()
+	for _, inst := range []string{"a", "b"} {
+		ls := FromMap(map[string]string{"__name__": "m", "instance": inst})
+		for i := 0; i < 10; i++ {
+			if err := db.Append(ls, int64(i*1000), float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.Append(FromMap(map[string]string{"__name__": "other"}), 1000, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	res := db.SelectBatch([]SelectHint{
+		NoClamp([]*Matcher{NameMatcher("m")}),
+		{Matchers: []*Matcher{NameMatcher("m")}, MinT: 2000, MaxT: 5000},
+		NoClamp([]*Matcher{NameMatcher("missing")}),
+		{Matchers: []*Matcher{NameMatcher("m")}, MinT: 50000, MaxT: 60000},
+	})
+	if len(res) != 4 {
+		t.Fatalf("results = %d, want 4", len(res))
+	}
+
+	// Unclamped: both series, all samples, fingerprint order.
+	if len(res[0]) != 2 {
+		t.Fatalf("unclamped views = %+v", res[0])
+	}
+	for i, v := range res[0] {
+		if len(v.Samples) != 10 {
+			t.Errorf("unclamped samples = %d, want 10", len(v.Samples))
+		}
+		if i > 0 && res[0][i-1].Fingerprint >= v.Fingerprint {
+			t.Error("views not in fingerprint order")
+		}
+	}
+
+	// Clamp is inclusive on both ends: 2000..5000 keeps 4 samples.
+	for _, v := range res[1] {
+		if len(v.Samples) != 4 || v.Samples[0].T != 2000 || v.Samples[3].T != 5000 {
+			t.Fatalf("clamped samples = %+v", v.Samples)
+		}
+	}
+
+	// No matching series: empty, not nil-panicking.
+	if len(res[2]) != 0 {
+		t.Fatalf("missing-metric views = %+v", res[2])
+	}
+
+	// Clamp past the data: series still listed, with zero samples.
+	if len(res[3]) != 2 {
+		t.Fatalf("past-end views = %+v", res[3])
+	}
+	for _, v := range res[3] {
+		if len(v.Samples) != 0 {
+			t.Fatalf("past-end samples = %+v", v.Samples)
+		}
+	}
+
+	// Empty batch.
+	if out := db.SelectBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch = %+v", out)
+	}
+}
+
+// TestSelectBatchMatchesSelectSeries: for any matcher set, an unclamped
+// batch entry must equal the single SelectSeries result.
+func TestSelectBatchMatchesSelectSeries(t *testing.T) {
+	db := newTestDB(t)
+	ms := []*Matcher{NameMatcher("m")}
+	batch := db.SelectBatch([]SelectHint{NoClamp(ms)})[0]
+	single := db.SelectSeries(ms)
+	if len(batch) != len(single) {
+		t.Fatalf("batch=%d single=%d", len(batch), len(single))
+	}
+	for i := range batch {
+		if batch[i].Fingerprint != single[i].Fingerprint || len(batch[i].Samples) != len(single[i].Samples) {
+			t.Fatalf("batch[%d] differs: %+v vs %+v", i, batch[i], single[i])
+		}
+	}
+}

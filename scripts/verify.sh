@@ -10,11 +10,14 @@ go vet ./...
 echo ">> go test -race ./..."
 go test -race ./...
 
-# Opt-in: substrate micro-benchmarks with allocation reporting
-# (VERIFY_BENCH=1 make verify).
+# Opt-in: substrate micro-benchmarks with allocation reporting, plus the
+# engine perf gate — the plan-based executor must hold >= 1.5x over the
+# legacy evaluator on the dashboard query mix (VERIFY_BENCH=1 make verify).
 if [ "${VERIFY_BENCH:-0}" = "1" ]; then
 	echo ">> make bench (VERIFY_BENCH=1)"
 	make bench
+	echo ">> dio-bench engine gate (VERIFY_BENCH=1)"
+	go run ./cmd/dio-bench -experiment engine -short
 fi
 
 echo "verify: OK"
