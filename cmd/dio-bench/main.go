@@ -14,6 +14,9 @@
 //	                                trace capture: off vs sampled vs always-on
 //	dio-bench -experiment throughput  serving-layer QPS: answer cache +
 //	                                singleflight on vs off under a Zipf mix
+//	dio-bench -experiment ingest    durable ingest: remote-write over HTTP
+//	                                into the WAL-backed store, concurrent
+//	                                with the dashboard query mix
 //	dio-bench -experiment all       everything above
 package main
 
@@ -57,7 +60,7 @@ func fatal(msg string, err error) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, engine, trace, throughput, all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, engine, trace, throughput, ingest, all")
 	size := flag.Int("questions", benchmark.DefaultSize, "benchmark size")
 	seed := flag.Int64("seed", 7, "benchmark generation seed")
 	verbose := flag.Bool("v", false, "print per-task breakdowns")
@@ -94,6 +97,7 @@ func main() {
 	run("engine", (*env1).engine)
 	run("trace", (*env1).trace)
 	run("throughput", (*env1).throughput)
+	run("ingest", (*env1).ingest)
 }
 
 // env1 carries the shared experiment environment: the catalog, the

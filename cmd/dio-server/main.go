@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	POST /api/v1/ask                      {"question": "..."}
+//	POST /api/v1/write                    remote-write (binary or JSON), requires -data-dir
 //	GET  /api/v1/query?query=...&time=...
 //	GET  /api/v1/query_range?query=...&start=...&end=...&step=5m
 //	GET  /api/v1/metrics?q=registration
@@ -36,6 +37,7 @@ import (
 	"dio/internal/feedback"
 	"dio/internal/fivegsim"
 	"dio/internal/httpapi"
+	"dio/internal/ingest"
 	"dio/internal/llm"
 	"dio/internal/obs"
 	"dio/internal/servecache"
@@ -59,6 +61,10 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 30*time.Second, "answer freshness window: cached answers expire once the TSDB head advances past this bucket")
 	maxInflight := flag.Int("max-inflight", 64, "concurrent answer computations admitted (0 disables the gate)")
 	queueWait := flag.Duration("queue-wait", 2*time.Second, "longest a request waits for an admission slot before 429")
+	dataDir := flag.String("data-dir", "", "durable ingest directory (WAL + checkpoints); enables POST /api/v1/write, empty runs memory-only")
+	walFsync := flag.Duration("wal-fsync-interval", 25*time.Millisecond, "WAL group-commit window: appends are acknowledged once the next periodic fsync covers them (0 syncs every batch)")
+	retention := flag.Duration("retention", 0, "drop samples older than this behind the TSDB head (0 keeps everything)")
+	checkpointEvery := flag.Duration("checkpoint-interval", 5*time.Minute, "how often the ingest store checkpoints and truncates its WAL")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("app", "dio-server")
@@ -69,8 +75,27 @@ func main() {
 
 	cat := catalog.Generate()
 	var db *tsdb.DB
+
+	// Durable ingest: the store recovers the TSDB from its newest
+	// checkpoint plus WAL replay, and every /api/v1/write lands in the WAL
+	// before it is acknowledged. It supersedes the legacy gob snapshot.
+	var store *ingest.Store
+	if *dataDir != "" {
+		var err error
+		store, err = ingest.OpenStore(*dataDir, ingest.StoreOptions{FsyncInterval: *walFsync})
+		if err != nil {
+			fatal("opening ingest store", err)
+		}
+		db = store.DB()
+		rs := store.ReplayStats()
+		logger.Info("opened durable store", "dir", *dataDir,
+			"series", db.NumSeries(), "samples", db.NumSamples(),
+			"wal_segments_replayed", rs.Segments, "wal_samples_replayed", rs.Samples,
+			"wal_tail_repaired", rs.TailTruncated)
+	}
+
 	snapshotPath := ""
-	if *stateDir != "" {
+	if *stateDir != "" && store == nil {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
 			fatal("state dir", err)
 		}
@@ -85,9 +110,11 @@ func main() {
 			logger.Info("restored TSDB snapshot", "series", db.NumSeries(), "samples", db.NumSamples())
 		}
 	}
-	if db == nil {
+	if db == nil || db.NumSamples() == 0 {
 		logger.Info("generating catalog and simulating operator workload", "duration", *duration)
-		db = tsdb.New()
+		if db == nil {
+			db = tsdb.New()
+		}
 		cfg := fivegsim.DefaultConfig()
 		cfg.Duration = *duration
 		cfg.Seed = *seed
@@ -96,7 +123,15 @@ func main() {
 			fatal("populating TSDB", err)
 		}
 		logger.Info(fmt.Sprint(rep))
-		if snapshotPath != "" {
+		switch {
+		case store != nil:
+			// The simulation wrote straight to the TSDB (not through the
+			// WAL); a checkpoint makes the seed durable.
+			if err := store.Checkpoint(); err != nil {
+				fatal("checkpointing simulated workload", err)
+			}
+			logger.Info("checkpointed simulated workload", "dir", *dataDir)
+		case snapshotPath != "":
 			if err := saveSnapshot(db, snapshotPath); err != nil {
 				fatal("saving snapshot", err)
 			}
@@ -145,6 +180,12 @@ func main() {
 	tracker.Instrument(reg)
 
 	apiOpts := []httpapi.Option{httpapi.WithMetrics(reg)}
+	if store != nil {
+		store.Instrument(reg)
+		apiOpts = append(apiOpts, httpapi.WithIngest(store))
+		logger.Info("remote-write enabled at POST /api/v1/write",
+			"fsync_interval", *walFsync, "retention", *retention, "checkpoint_interval", *checkpointEvery)
+	}
 	if *traceCapacity > 0 {
 		apiOpts = append(apiOpts, httpapi.WithTracing(cp.Tracer()))
 	}
@@ -193,6 +234,34 @@ func main() {
 		logger.Info("self-scraping dio_* metrics", "interval", *scrapeInterval)
 	}
 
+	// Maintenance loop: periodic checkpoints bound WAL replay time, and
+	// retention truncates samples that fell behind the head.
+	maintCtx, stopMaint := context.WithCancel(context.Background())
+	defer stopMaint()
+	if store != nil && *checkpointEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*checkpointEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-maintCtx.Done():
+					return
+				case <-tick.C:
+					if *retention > 0 {
+						keepAfter := db.HeadTime() - retention.Milliseconds()
+						if dropped, err := store.Truncate(keepAfter); err != nil {
+							logger.Error("retention truncate failed", "err", err)
+						} else if dropped > 0 {
+							logger.Info("retention dropped samples", "dropped", dropped, "keep_after", keepAfter)
+						}
+					} else if err := store.Checkpoint(); err != nil {
+						logger.Error("checkpoint failed", "err", err)
+					}
+				}
+			}
+		}()
+	}
+
 	// Graceful shutdown on SIGINT/SIGTERM.
 	done := make(chan struct{})
 	go func() {
@@ -201,6 +270,7 @@ func main() {
 		<-sig
 		logger.Info("shutting down")
 		stopScrape()
+		stopMaint()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -211,6 +281,16 @@ func main() {
 				logger.Error("saving issues failed", "err", err)
 			} else {
 				logger.Info("saved feedback issues", "path", issuesPath)
+			}
+		}
+		if store != nil {
+			// A final checkpoint makes the next start replay-free; the WAL
+			// close flushes whatever arrived since.
+			if err := store.Checkpoint(); err != nil {
+				logger.Error("final checkpoint failed", "err", err)
+			}
+			if err := store.Close(); err != nil {
+				logger.Error("closing ingest store failed", "err", err)
 			}
 		}
 		close(done)

@@ -88,6 +88,30 @@ var selfMetricDefs = []selfMetricDef{
 		desc: "Cumulative samples the DIO self-scrape loop has appended into the operator time-series store."},
 	{name: "dio_selfscrape_errors_total", typ: Counter,
 		desc: "The number of samples the DIO self-scrape loop failed to append into the operator time-series store."},
+
+	// Durable streaming ingest (internal/ingest).
+	{name: "dio_ingest_appended_samples_total", typ: Counter, unit: "samples",
+		desc: "Samples durably appended through the DIO remote-write ingest store (acknowledged only after the write-ahead log fsync)."},
+	{name: "dio_ingest_out_of_order_total", typ: Counter, unit: "samples",
+		desc: "Remote-write samples the DIO ingest store dropped for being older than the series head."},
+	{name: "dio_ingest_duplicate_total", typ: Counter, unit: "samples",
+		desc: "Remote-write samples the DIO ingest store dropped for reusing the series head timestamp with a different value."},
+	{name: "dio_ingest_checkpoints_total", typ: Counter,
+		desc: "Checkpoints (chunked snapshots superseding older write-ahead-log segments) written by the DIO ingest store."},
+	{name: "dio_wal_fsync_seconds", unit: "seconds", histogram: true,
+		desc: "Latency of write-ahead-log fsyncs in the DIO ingest store (each fsync group-commits every batch written since the previous one)."},
+	{name: "dio_wal_bytes_written_total", typ: Counter, unit: "bytes",
+		desc: "Bytes of framed records written to the DIO ingest write-ahead log."},
+	{name: "dio_wal_replay_samples_total", typ: Counter, unit: "samples",
+		desc: "Samples replayed from the write-ahead log when the DIO ingest store last started."},
+	{name: "dio_wal_replay_segments_total", typ: Counter,
+		desc: "Write-ahead-log segments replayed when the DIO ingest store last started."},
+	{name: "dio_tsdb_chunk_bytes", typ: Gauge, unit: "bytes",
+		desc: "Bytes held in compressed Gorilla chunks (sealed plus open heads) across every series in the DIO time-series store."},
+	{name: "dio_tsdb_bytes_per_sample", typ: Gauge, unit: "bytes",
+		desc: "Average encoded bytes per sample stored in the DIO time-series store's compressed chunks."},
+	{name: "dio_tsdb_compression_ratio", typ: Gauge,
+		desc: "Compression ratio of the DIO time-series store: raw 16-byte samples divided by encoded chunk bytes."},
 }
 
 // SelfMetrics returns the catalog entries for the copilot's dio_* metrics.

@@ -17,6 +17,7 @@ import (
 	"dio/internal/core"
 	"dio/internal/dashboard"
 	"dio/internal/feedback"
+	"dio/internal/ingest"
 	"dio/internal/obs"
 	"dio/internal/promql"
 	"dio/internal/sandbox"
@@ -58,6 +59,10 @@ type Server struct {
 	// gate bounding concurrent answer computations.
 	front *servecache.Front[*core.Answer]
 	gate  *servecache.Gate
+
+	// ingest is the durable WAL-backed store behind POST /api/v1/write
+	// (nil when the server runs memory-only).
+	ingest *ingest.Store
 }
 
 // Option configures optional server features.

@@ -1,0 +1,63 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client pushes write requests to a remote /api/v1/write endpoint using
+// the binary codec. It is the load-generator side of the subsystem (the
+// dio-bench ingest experiment drives it) and is safe for concurrent use.
+type Client struct {
+	url  string
+	http *http.Client
+}
+
+// NewClient builds a client for a dio-server base URL such as
+// "http://localhost:8080".
+func NewClient(baseURL string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &Client{
+		url:  baseURL + "/api/v1/write",
+		http: &http.Client{Timeout: timeout},
+	}
+}
+
+// WriteResult is the endpoint's accounting for one push.
+type WriteResult struct {
+	Appended   int `json:"appended"`
+	OutOfOrder int `json:"outOfOrder"`
+	Duplicate  int `json:"duplicate"`
+}
+
+// Push sends one batch and returns the server's accounting. A non-2xx
+// response is an error: the batch must not be assumed durable.
+func (c *Client) Push(ctx context.Context, batch []TimeSeries) (WriteResult, error) {
+	var res WriteResult
+	body := EncodeBinary(batch)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, bytes.NewReader(body))
+	if err != nil {
+		return res, err
+	}
+	req.Header.Set("Content-Type", ContentTypeBinary)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return res, fmt.Errorf("ingest: write rejected: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return res, fmt.Errorf("ingest: bad write response: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,19 @@
+package ingest
+
+import "os"
+
+// SetFsyncHook swaps the fsync implementation so tests can inject disk
+// failures; it returns a restore function.
+func SetFsyncHook(fn func(*os.File) error) (restore func()) {
+	prev := fsyncFile
+	fsyncFile = fn
+	return func() { fsyncFile = prev }
+}
+
+// Internal identifiers re-exported for white-box tests.
+var (
+	SegmentNameForTest    = segmentName
+	CheckpointNameForTest = checkpointName
+)
+
+const WALMagicForTest = walMagic

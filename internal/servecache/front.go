@@ -24,6 +24,8 @@ type FrontConfig[V any] struct {
 	Version func() uint64
 	// Head returns the newest ingested TSDB sample timestamp in Unix
 	// milliseconds (0 for an empty store). Nil pins the bucket to zero.
+	// With streaming remote-write ingest this advances continuously, so
+	// cached answers age out one TTL bucket after the data they saw.
 	Head func() int64
 	// Compute runs the full pipeline for one question (a cache miss or
 	// bypass). Required.

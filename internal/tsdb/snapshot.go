@@ -1,11 +1,26 @@
 package tsdb
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"sort"
+	"math"
 )
+
+// ErrCorruptSnapshot is the typed error every snapshot-load failure wraps:
+// undecodable input, truncation, out-of-order or duplicate samples,
+// nameless or duplicate series, and CRC mismatches all surface as
+// errors.Is(err, ErrCorruptSnapshot) so callers can distinguish bad input
+// from I/O failures.
+var ErrCorruptSnapshot = errors.New("tsdb: corrupt snapshot")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptSnapshot, fmt.Sprintf(format, args...))
+}
 
 // snapshotSeries is the gob wire form of one series.
 type snapshotSeries struct {
@@ -18,50 +33,53 @@ type snapshotState struct {
 	Series []snapshotSeries
 }
 
-// Snapshot serialises the entire store. The snapshot is deterministic
-// (series ordered by label key) so identical databases produce identical
-// bytes.
+// Snapshot serialises the entire store in the gob format. The snapshot is
+// deterministic (series ordered by label key) so identical databases
+// produce identical bytes. Gob snapshots decode every chunk and are the
+// migration/oracle path; SnapshotChunked writes the compressed form used
+// by ingest checkpoints.
 func (db *DB) Snapshot(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	keys := make([]string, 0, len(db.series))
-	for k := range db.series {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := db.sortedKeysLocked()
 	st := snapshotState{Series: make([]snapshotSeries, 0, len(keys))}
 	for _, k := range keys {
 		s := db.series[k]
-		st.Series = append(st.Series, snapshotSeries{Labels: s.Labels, Samples: s.Samples})
+		st.Series = append(st.Series, snapshotSeries{Labels: s.Labels, Samples: s.allSamples()})
 	}
 	return gob.NewEncoder(w).Encode(st)
 }
 
-// LoadSnapshot restores a store saved with Snapshot.
+// LoadSnapshot restores a store saved with Snapshot, validating series
+// names, uniqueness and sample time-ordering; any malformed input is
+// rejected with an error wrapping ErrCorruptSnapshot.
 func LoadSnapshot(r io.Reader) (*DB, error) {
 	var st snapshotState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("tsdb: corrupt snapshot: %w", err)
+		return nil, corruptf("gob decode: %v", err)
 	}
 	db := New()
 	for _, s := range st.Series {
 		ls := Labels(s.Labels)
 		if ls.Name() == "" {
-			return nil, fmt.Errorf("tsdb: snapshot series without a metric name: %s", ls)
+			return nil, corruptf("series without a metric name: %s", ls)
 		}
 		key := ls.Key()
 		if _, dup := db.series[key]; dup {
-			return nil, fmt.Errorf("tsdb: snapshot has duplicate series %s", ls)
+			return nil, corruptf("duplicate series %s", ls)
 		}
-		prev := int64(-1 << 62)
+		prev := int64(math.MinInt64)
+		first := true
 		for _, smp := range s.Samples {
-			if smp.T <= prev {
-				return nil, fmt.Errorf("tsdb: snapshot series %s has out-of-order samples", ls)
+			if !first && smp.T <= prev {
+				return nil, corruptf("series %s has out-of-order samples (t=%d after %d)", ls, smp.T, prev)
 			}
-			prev = smp.T
+			prev, first = smp.T, false
 		}
-		cp := db.addSeriesLocked(key, ls)
-		cp.Samples = append([]Sample(nil), s.Samples...)
+		sr := db.addSeriesLocked(key, ls)
+		for _, smp := range s.Samples {
+			sr.append(smp.T, smp.V)
+		}
 		if n := len(s.Samples); n > 0 {
 			if s.Samples[0].T < db.minT {
 				db.minT = s.Samples[0].T
@@ -75,34 +93,231 @@ func LoadSnapshot(r io.Reader) (*DB, error) {
 	return db, nil
 }
 
-// Truncate drops every sample older than keepAfter (exclusive), enforcing
-// a retention horizon. Series left empty are removed entirely. It returns
-// the number of samples dropped.
-func (db *DB) Truncate(keepAfter int64) int64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	var dropped int64
-	newMin := int64(1<<63 - 1)
-	for key, s := range db.series {
-		i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= keepAfter })
-		if i > 0 {
-			dropped += int64(i)
-			s.Samples = append([]Sample(nil), s.Samples[i:]...)
+// Chunked snapshot format — the durable on-disk representation ingest
+// checkpoints use. Unlike the gob path it writes the sealed chunk bytes
+// verbatim, so a checkpoint is cheap (no decode) and loads are
+// proportional to compressed size:
+//
+//	8B  magic "DIOCHK1\n"
+//	uvarint series count; per series:
+//	  uvarint label count; per label: uvarint len + bytes (name, value)
+//	  uvarint chunk count; per chunk:
+//	    uvarint sample count, zigzag-varint minT, zigzag-varint maxT,
+//	    uvarint data len, data bytes
+//	4B  IEEE CRC-32 (big-endian) of everything after the magic
+const chunkedMagic = "DIOCHK1\n"
+
+// SnapshotChunked serialises the store in the chunked format. Open head
+// chunks are sealed into the snapshot (the in-memory head is untouched);
+// on load appends simply start a fresh head chunk.
+func (db *DB) SnapshotChunked(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if _, err := io.WriteString(w, chunkedMagic); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
 		}
-		if len(s.Samples) == 0 {
-			db.dropSeriesLocked(key, s)
-			continue
+		_, err := bw.WriteString(s)
+		return err
+	}
+	keys := db.sortedKeysLocked()
+	if err := writeUvarint(uint64(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		s := db.series[k]
+		if err := writeUvarint(uint64(len(s.Labels))); err != nil {
+			return err
 		}
-		if s.Samples[0].T < newMin {
-			newMin = s.Samples[0].T
+		for _, l := range s.Labels {
+			if err := writeString(l.Name); err != nil {
+				return err
+			}
+			if err := writeString(l.Value); err != nil {
+				return err
+			}
+		}
+		chunks := s.sealedChunks()
+		if err := writeUvarint(uint64(len(chunks))); err != nil {
+			return err
+		}
+		for _, c := range chunks {
+			if err := writeUvarint(uint64(c.count)); err != nil {
+				return err
+			}
+			if err := writeUvarint(zigzag(c.minT)); err != nil {
+				return err
+			}
+			if err := writeUvarint(zigzag(c.maxT)); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(len(c.data))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(c.data); err != nil {
+				return err
+			}
 		}
 	}
-	db.samples -= dropped
-	if db.samples == 0 {
-		db.minT = 1<<63 - 1
-		db.maxT = -(1<<63 - 1)
-	} else {
-		db.minT = newMin
+	if err := bw.Flush(); err != nil {
+		return err
 	}
-	return dropped
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// LoadChunkedSnapshot restores a store saved with SnapshotChunked. Every
+// chunk is CRC-checked and fully decoded during load to validate sample
+// counts and time-ordering; malformed input is rejected with an error
+// wrapping ErrCorruptSnapshot.
+func LoadChunkedSnapshot(r io.Reader) (*DB, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(chunkedMagic)+4 || string(raw[:len(chunkedMagic)]) != chunkedMagic {
+		return nil, corruptf("bad chunked-snapshot header")
+	}
+	payload := raw[len(chunkedMagic) : len(raw)-4]
+	want := binary.BigEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, corruptf("chunked-snapshot CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, corruptf("truncated varint at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	readString := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if uint64(len(payload)-pos) < n {
+			return "", corruptf("truncated string at offset %d", pos)
+		}
+		s := string(payload[pos : pos+int(n)])
+		pos += int(n)
+		return s, nil
+	}
+	nSeries, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	db := New()
+	for si := uint64(0); si < nSeries; si++ {
+		nLabels, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		ls := make(Labels, 0, nLabels)
+		for li := uint64(0); li < nLabels; li++ {
+			name, err := readString()
+			if err != nil {
+				return nil, err
+			}
+			value, err := readString()
+			if err != nil {
+				return nil, err
+			}
+			ls = append(ls, Label{Name: name, Value: value})
+		}
+		if ls.Name() == "" {
+			return nil, corruptf("series without a metric name: %s", ls)
+		}
+		key := ls.Key()
+		if _, dup := db.series[key]; dup {
+			return nil, corruptf("duplicate series %s", ls)
+		}
+		nChunks, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		chunks := make([]chunk, 0, nChunks)
+		total := 0
+		prevT := int64(math.MinInt64)
+		var lastV float64
+		haveSample := false
+		for ci := uint64(0); ci < nChunks; ci++ {
+			count, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			zzMin, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			zzMax, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			dataLen, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if uint64(len(payload)-pos) < dataLen {
+				return nil, corruptf("truncated chunk data at offset %d", pos)
+			}
+			data := make([]byte, dataLen)
+			copy(data, payload[pos:pos+int(dataLen)])
+			pos += int(dataLen)
+			c := chunk{data: data, count: int(count), minT: unzigzag(zzMin), maxT: unzigzag(zzMax)}
+			if c.count == 0 {
+				return nil, corruptf("series %s has an empty chunk", ls)
+			}
+			// Decode the chunk to validate count and ordering against the
+			// declared metadata.
+			decoded, err := decodeChunk(c, nil)
+			if err != nil {
+				return nil, corruptf("series %s chunk %d: %v", ls, ci, err)
+			}
+			if len(decoded) != c.count {
+				return nil, corruptf("series %s chunk %d decoded %d samples, declared %d", ls, ci, len(decoded), c.count)
+			}
+			for _, smp := range decoded {
+				if haveSample && smp.T <= prevT {
+					return nil, corruptf("series %s has out-of-order samples (t=%d after %d)", ls, smp.T, prevT)
+				}
+				prevT, lastV, haveSample = smp.T, smp.V, true
+			}
+			if decoded[0].T != c.minT || decoded[len(decoded)-1].T != c.maxT {
+				return nil, corruptf("series %s chunk %d time bounds [%d,%d] disagree with samples [%d,%d]",
+					ls, ci, c.minT, c.maxT, decoded[0].T, decoded[len(decoded)-1].T)
+			}
+			chunks = append(chunks, c)
+			total += c.count
+		}
+		sr := db.addSeriesLocked(key, ls)
+		if total > 0 {
+			sr.restoreChunks(chunks, total, prevT, lastV)
+			if first := chunks[0].minT; first < db.minT {
+				db.minT = first
+			}
+			if prevT > db.maxT {
+				db.maxT = prevT
+			}
+			db.samples += int64(total)
+		}
+	}
+	if pos != len(payload) {
+		return nil, corruptf("%d trailing bytes after the last series", len(payload)-pos)
+	}
+	return db, nil
 }

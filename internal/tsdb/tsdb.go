@@ -3,6 +3,7 @@ package tsdb
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 )
@@ -13,42 +14,9 @@ type Sample struct {
 	V float64
 }
 
-// Series is a label set and its samples in ascending time order.
-type Series struct {
-	Labels  Labels
-	Samples []Sample
-	// fp caches Labels.Key(), computed once when the series is created, so
-	// selection and sorting never rebuild the fingerprint string.
-	fp string
-}
-
-// Fingerprint returns the series' cached canonical label key.
-func (s *Series) Fingerprint() string { return s.fp }
-
-// lastBefore returns the newest sample with T <= t and at least t-lookback,
-// implementing Prometheus instant-lookup staleness semantics.
-func (s *Series) lastBefore(t, lookback int64) (Sample, bool) {
-	i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > t })
-	if i == 0 {
-		return Sample{}, false
-	}
-	smp := s.Samples[i-1]
-	if smp.T < t-lookback {
-		return Sample{}, false
-	}
-	return smp, true
-}
-
-// window returns the samples with start < T <= end (Prometheus range
-// selector semantics: left-open, right-closed).
-func (s *Series) window(start, end int64) []Sample {
-	lo := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > start })
-	hi := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > end })
-	return s.Samples[lo:hi]
-}
-
-// DB is an in-memory labelled time-series store. It is safe for concurrent
-// use. The zero value is not usable; call New.
+// DB is an in-memory labelled time-series store holding samples as
+// Gorilla-compressed chunks. It is safe for concurrent use. The zero
+// value is not usable; call New.
 type DB struct {
 	mu sync.RWMutex
 	// series by fingerprint.
@@ -71,12 +39,25 @@ func New() *DB {
 	return &DB{series: make(map[string]*Series), index: make(postings), minT: 1<<63 - 1, maxT: -(1<<63 - 1)}
 }
 
-// ErrOutOfOrder is returned when appending a sample at or before the last
-// timestamp of its series.
+// ErrOutOfOrder is returned when appending a sample before the last
+// timestamp of its series. The store's append policy mirrors Prometheus:
+// within one series timestamps must be strictly increasing; out-of-order
+// and duplicate-timestamp writes are rejected (never silently reordered)
+// so that WAL replay, remote write retries and bulk loads all converge on
+// the same stored state.
 var ErrOutOfOrder = errors.New("tsdb: out-of-order sample")
 
-// Append adds one sample to the series identified by ls. Timestamps within
-// a series must be strictly increasing.
+// ErrDuplicateTimestamp is returned when appending a sample at a series'
+// current newest timestamp with a *different* value. It wraps
+// ErrOutOfOrder so callers matching the broad policy keep working, while
+// ingest paths can count the two cases separately. Re-appending the
+// newest (timestamp, value) pair exactly is accepted as a no-op: that is
+// what makes WAL replay after a partially acknowledged batch idempotent.
+var ErrDuplicateTimestamp = fmt.Errorf("%w: duplicate timestamp", ErrOutOfOrder)
+
+// Append adds one sample to the series identified by ls. Timestamps
+// within a series must be strictly increasing; see ErrOutOfOrder and
+// ErrDuplicateTimestamp for the rejection policy.
 func (db *DB) Append(ls Labels, t int64, v float64) error {
 	if ls.Name() == "" {
 		return fmt.Errorf("tsdb: series %s has no metric name", ls)
@@ -88,10 +69,18 @@ func (db *DB) Append(ls Labels, t int64, v float64) error {
 	if !ok {
 		s = db.addSeriesLocked(key, ls)
 	}
-	if n := len(s.Samples); n > 0 && s.Samples[n-1].T >= t {
-		return fmt.Errorf("%w: series %s at t=%d (last %d)", ErrOutOfOrder, ls, t, s.Samples[n-1].T)
+	if s.total > 0 {
+		switch {
+		case t < s.lastT:
+			return fmt.Errorf("%w: series %s at t=%d (last %d)", ErrOutOfOrder, ls, t, s.lastT)
+		case t == s.lastT:
+			if math.Float64bits(v) == math.Float64bits(s.lastV) {
+				return nil // idempotent re-append of the newest sample
+			}
+			return fmt.Errorf("%w: series %s at t=%d (stored %v, new %v)", ErrDuplicateTimestamp, ls, t, s.lastV, v)
+		}
 	}
-	s.Samples = append(s.Samples, Sample{T: t, V: v})
+	s.append(t, v)
 	if t < db.minT {
 		db.minT = t
 	}
@@ -100,6 +89,54 @@ func (db *DB) Append(ls Labels, t int64, v float64) error {
 	}
 	db.samples++
 	return nil
+}
+
+// AppendSamples appends a batch of samples to one series under a single
+// lock acquisition — the streaming-ingest fast path, where per-sample
+// locking would let concurrent readers starve high-rate writers. The
+// policy per sample is exactly Append's: out-of-order and conflicting
+// duplicates are skipped and counted (never stored), identical re-appends
+// of the newest sample count as accepted.
+func (db *DB) AppendSamples(ls Labels, samples []Sample) (appended, outOfOrder, duplicate int, err error) {
+	if ls.Name() == "" {
+		return 0, 0, 0, fmt.Errorf("tsdb: series %s has no metric name", ls)
+	}
+	if len(samples) == 0 {
+		return 0, 0, 0, nil
+	}
+	key := ls.Key()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[key]
+	if !ok {
+		s = db.addSeriesLocked(key, ls)
+	}
+	for _, smp := range samples {
+		if s.total > 0 {
+			switch {
+			case smp.T < s.lastT:
+				outOfOrder++
+				continue
+			case smp.T == s.lastT:
+				if math.Float64bits(smp.V) == math.Float64bits(s.lastV) {
+					appended++ // idempotent re-append of the newest sample
+				} else {
+					duplicate++
+				}
+				continue
+			}
+		}
+		s.append(smp.T, smp.V)
+		if smp.T < db.minT {
+			db.minT = smp.T
+		}
+		if smp.T > db.maxT {
+			db.maxT = smp.T
+		}
+		db.samples++
+		appended++
+	}
+	return appended, outOfOrder, duplicate, nil
 }
 
 // addSeriesLocked registers a new empty series and indexes it. Callers
@@ -132,6 +169,39 @@ func (db *DB) NumSamples() int64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.samples
+}
+
+// StorageStats describes the store's compressed footprint.
+type StorageStats struct {
+	Series  int
+	Samples int64
+	Chunks  int
+	// ChunkBytes is the compressed sample data size (sealed chunks plus
+	// open heads); it excludes label sets and index structures.
+	ChunkBytes int64
+	// BytesPerSample is ChunkBytes / Samples (0 when empty).
+	BytesPerSample float64
+	// CompressionRatio compares against the raw 16-byte
+	// (int64 timestamp + float64 value) sample representation.
+	CompressionRatio float64
+}
+
+// Stats returns the store's storage statistics.
+func (db *DB) Stats() StorageStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := StorageStats{Series: len(db.series), Samples: db.samples}
+	for _, s := range db.series {
+		st.ChunkBytes += int64(s.numBytes())
+		st.Chunks += s.numChunks()
+	}
+	if db.samples > 0 {
+		st.BytesPerSample = float64(st.ChunkBytes) / float64(db.samples)
+		if st.ChunkBytes > 0 {
+			st.CompressionRatio = 16 / st.BytesPerSample
+		}
+	}
+	return st
 }
 
 // TimeRange returns the min and max ingested timestamps; ok is false when
@@ -169,14 +239,15 @@ func (db *DB) MetricTimeRange(name string) (minT, maxT int64, ok bool) {
 	minT, maxT = 1<<63-1, -(1<<63 - 1)
 	for _, key := range db.index.get(MetricNameLabel, name) {
 		s := db.series[key]
-		if len(s.Samples) == 0 {
+		first, nonEmpty := s.minTime()
+		if !nonEmpty {
 			continue
 		}
-		if t := s.Samples[0].T; t < minT {
-			minT = t
+		if first < minT {
+			minT = first
 		}
-		if t := s.Samples[len(s.Samples)-1].T; t > maxT {
-			maxT = t
+		if s.lastT > maxT {
+			maxT = s.lastT
 		}
 		ok = true
 	}
@@ -274,18 +345,16 @@ func (db *DB) SelectRange(matchers []*Matcher, start, end int64) []SeriesRange {
 		if len(w) == 0 {
 			continue
 		}
-		cp := make([]Sample, len(w))
-		copy(cp, w)
-		out = append(out, SeriesRange{Labels: s.Labels, Samples: cp})
+		out = append(out, SeriesRange{Labels: s.Labels, Samples: w})
 	}
 	return out
 }
 
-// SeriesView is a zero-copy handle on one stored series: the shared label
-// set, its cached fingerprint, and a stable prefix of its samples. The
-// samples slice must be treated as read-only; it stays valid across
-// concurrent appends (new samples land past the view) and truncations
-// (which replace, never mutate, the stored slice).
+// SeriesView is a handle on one stored series: the shared label set, its
+// cached fingerprint, and a stable snapshot of its samples decoded from
+// the compressed chunks. The samples slice is freshly decoded per select,
+// never aliases chunk storage, and must be treated as read-only; it stays
+// valid (and unchanged) across concurrent appends and truncations.
 type SeriesView struct {
 	Labels      Labels
 	Fingerprint string
@@ -293,9 +362,9 @@ type SeriesView struct {
 }
 
 // SelectSeries returns views of every series matching matchers, ordered by
-// fingerprint, without copying samples. It is the batched selection API
-// behind select-once range evaluation: fetch the series once, then step
-// over their samples with cursors instead of re-running Select per step.
+// fingerprint. It is the batched selection API behind select-once range
+// evaluation: fetch (and decode) the series once, then step over their
+// samples with cursors instead of re-running Select per step.
 func (db *DB) SelectSeries(matchers []*Matcher) []SeriesView {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -308,7 +377,7 @@ func (db *DB) SelectSeries(matchers []*Matcher) []SeriesView {
 		out = append(out, SeriesView{
 			Labels:      s.Labels,
 			Fingerprint: s.fp,
-			Samples:     s.Samples[:len(s.Samples):len(s.Samples)],
+			Samples:     s.allSamples(),
 		})
 	}
 	return out
@@ -318,7 +387,8 @@ func (db *DB) SelectSeries(matchers []*Matcher) []SeriesView {
 // matchers to satisfy plus an inclusive [MinT, MaxT] clamp on the sample
 // timestamps the caller will actually read. Query planners compute the
 // clamp from range hints (offsets, lookback, matrix windows) so the
-// returned views carry only the samples the plan can touch.
+// returned views carry only the samples the plan can touch — with chunked
+// storage the clamp also skips decoding chunks wholly outside the window.
 type SelectHint struct {
 	Matchers []*Matcher
 	// MinT/MaxT bound the sample timestamps of interest, inclusive. Use
@@ -336,8 +406,7 @@ func NoClamp(matchers []*Matcher) SelectHint {
 // batched form of SelectSeries used by the query planner so merged
 // selectors hit the postings index once per query instead of once per
 // selector evaluation. Result i holds the views for hints[i], ordered by
-// fingerprint, with each view's samples clamped to [MinT, MaxT] (zero-copy
-// subslices of the stored samples).
+// fingerprint, with each view's samples clamped to [MinT, MaxT].
 func (db *DB) SelectBatch(hints []SelectHint) [][]SeriesView {
 	out := make([][]SeriesView, len(hints))
 	if len(hints) == 0 {
@@ -352,11 +421,10 @@ func (db *DB) SelectBatch(hints []SelectHint) [][]SeriesView {
 			if !MatchLabels(s.Labels, h.Matchers) {
 				continue
 			}
-			smp := clampSamples(s.Samples, h.MinT, h.MaxT)
 			views = append(views, SeriesView{
 				Labels:      s.Labels,
 				Fingerprint: s.fp,
-				Samples:     smp[:len(smp):len(smp)],
+				Samples:     s.clampedSamples(h.MinT, h.MaxT),
 			})
 		}
 		out[i] = views
@@ -364,23 +432,7 @@ func (db *DB) SelectBatch(hints []SelectHint) [][]SeriesView {
 	return out
 }
 
-// clampSamples returns the subslice of samples with MinT <= T <= MaxT.
-func clampSamples(samples []Sample, minT, maxT int64) []Sample {
-	lo := 0
-	if minT > -(1 << 62) {
-		lo = sort.Search(len(samples), func(i int) bool { return samples[i].T >= minT })
-	}
-	hi := len(samples)
-	if maxT < 1<<62 {
-		hi = sort.Search(len(samples), func(i int) bool { return samples[i].T > maxT })
-	}
-	if hi < lo {
-		hi = lo
-	}
-	return samples[lo:hi]
-}
-
-// AllSeries returns a snapshot of every series (labels and copied
+// AllSeries returns a snapshot of every series (labels and decoded
 // samples), ordered by label key. Intended for tests and export.
 func (db *DB) AllSeries() []SeriesRange {
 	db.mu.RLock()
@@ -388,9 +440,7 @@ func (db *DB) AllSeries() []SeriesRange {
 	out := make([]SeriesRange, 0, len(db.series))
 	for _, k := range db.keys {
 		s := db.series[k]
-		cp := make([]Sample, len(s.Samples))
-		copy(cp, s.Samples)
-		out = append(out, SeriesRange{Labels: s.Labels, Samples: cp})
+		out = append(out, SeriesRange{Labels: s.Labels, Samples: s.allSamples()})
 	}
 	return out
 }
@@ -401,4 +451,66 @@ func (db *DB) LabelValues(name string) []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.index.values(name)
+}
+
+// Truncate drops every sample older than keepAfter (exclusive), enforcing
+// a retention horizon. Series left empty are removed entirely; partially
+// covered chunks are re-encoded around the cut. It returns the number of
+// samples dropped.
+func (db *DB) Truncate(keepAfter int64) int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var dropped int64
+	newMin := int64(1<<63 - 1)
+	for key, s := range db.series {
+		if s.total == 0 || s.lastT < keepAfter {
+			dropped += int64(s.total)
+			db.dropSeriesLocked(key, s)
+			continue
+		}
+		first, _ := s.minTime()
+		if first >= keepAfter {
+			if first < newMin {
+				newMin = first
+			}
+			continue // nothing to drop
+		}
+		// Drop whole chunks below the horizon, then re-encode the first
+		// surviving chunk if the cut lands inside it.
+		cut := 0
+		for cut < len(s.chunks) && s.chunks[cut].maxT < keepAfter {
+			dropped += int64(s.chunks[cut].count)
+			s.total -= s.chunks[cut].count
+			cut++
+		}
+		s.chunks = append(s.chunks[:0], s.chunks[cut:]...)
+		first, _ = s.minTime()
+		if first < keepAfter {
+			kept := s.decodeRange(keepAfter, math.MaxInt64, nil)
+			dropped += int64(s.total - len(kept))
+			s.replaceSamples(kept)
+		}
+		if first, ok := s.minTime(); ok && first < newMin {
+			newMin = first
+		}
+	}
+	db.samples -= dropped
+	if db.samples == 0 {
+		db.minT = 1<<63 - 1
+		db.maxT = -(1<<63 - 1)
+	} else {
+		db.minT = newMin
+	}
+	return dropped
+}
+
+// sortedKeysLocked returns the fingerprints in canonical order. Callers
+// must hold at least the read lock.
+func (db *DB) sortedKeysLocked() []string {
+	keys := make([]string, 0, len(db.series))
+	for k := range db.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

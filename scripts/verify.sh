@@ -11,13 +11,19 @@ echo ">> go test -race ./..."
 go test -race ./...
 
 # Opt-in: substrate micro-benchmarks with allocation reporting, plus the
-# engine perf gate — the plan-based executor must hold >= 1.5x over the
-# legacy evaluator on the dashboard query mix (VERIFY_BENCH=1 make verify).
+# perf gates — the plan-based executor must hold >= 1.5x over the legacy
+# evaluator on the dashboard query mix, and the durable ingest path must
+# sustain its remote-write floor while acknowledged samples survive a
+# crash (VERIFY_BENCH=1 make verify).
 if [ "${VERIFY_BENCH:-0}" = "1" ]; then
 	echo ">> make bench (VERIFY_BENCH=1)"
 	make bench
 	echo ">> dio-bench engine gate (VERIFY_BENCH=1)"
 	go run ./cmd/dio-bench -experiment engine -short
+	echo ">> dio-bench ingest gate (VERIFY_BENCH=1)"
+	go run ./cmd/dio-bench -experiment ingest -short
+	echo ">> crash-recovery smoke (VERIFY_BENCH=1)"
+	./scripts/crash_smoke.sh
 fi
 
 echo "verify: OK"
