@@ -17,6 +17,9 @@
 //	dio-bench -experiment ingest    durable ingest: remote-write over HTTP
 //	                                into the WAL-backed store, concurrent
 //	                                with the dashboard query mix
+//	dio-bench -experiment shard     sharded TSDB scaling curve: the
+//	                                shardable query mix plus streaming
+//	                                writers at 1/2/4/8 shards
 //	dio-bench -experiment all       everything above
 package main
 
@@ -60,7 +63,7 @@ func fatal(msg string, err error) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, engine, trace, throughput, ingest, all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, engine, trace, throughput, ingest, shard, all")
 	size := flag.Int("questions", benchmark.DefaultSize, "benchmark size")
 	seed := flag.Int64("seed", 7, "benchmark generation seed")
 	verbose := flag.Bool("v", false, "print per-task breakdowns")
@@ -98,6 +101,7 @@ func main() {
 	run("trace", (*env1).trace)
 	run("throughput", (*env1).throughput)
 	run("ingest", (*env1).ingest)
+	run("shard", (*env1).shard)
 }
 
 // env1 carries the shared experiment environment: the catalog, the

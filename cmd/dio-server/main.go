@@ -65,6 +65,7 @@ func main() {
 	walFsync := flag.Duration("wal-fsync-interval", 25*time.Millisecond, "WAL group-commit window: appends are acknowledged once the next periodic fsync covers them (0 syncs every batch)")
 	retention := flag.Duration("retention", 0, "drop samples older than this behind the TSDB head (0 keeps everything)")
 	checkpointEvery := flag.Duration("checkpoint-interval", 5*time.Minute, "how often the ingest store checkpoints and truncates its WAL")
+	tsdbShards := flag.Int("tsdb-shards", 1, "TSDB shards: >1 partitions series by fingerprint hash, parallelising ingest and fanning queries out to per-shard partial aggregation")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("app", "dio-server")
@@ -74,7 +75,7 @@ func main() {
 	}
 
 	cat := catalog.Generate()
-	var db *tsdb.DB
+	var db tsdb.Storage
 
 	// Durable ingest: the store recovers the TSDB from its newest
 	// checkpoint plus WAL replay, and every /api/v1/write lands in the WAL
@@ -82,13 +83,13 @@ func main() {
 	var store *ingest.Store
 	if *dataDir != "" {
 		var err error
-		store, err = ingest.OpenStore(*dataDir, ingest.StoreOptions{FsyncInterval: *walFsync})
+		store, err = ingest.OpenStore(*dataDir, ingest.StoreOptions{FsyncInterval: *walFsync, Shards: *tsdbShards})
 		if err != nil {
 			fatal("opening ingest store", err)
 		}
 		db = store.DB()
 		rs := store.ReplayStats()
-		logger.Info("opened durable store", "dir", *dataDir,
+		logger.Info("opened durable store", "dir", *dataDir, "shards", store.Shards(),
 			"series", db.NumSeries(), "samples", db.NumSamples(),
 			"wal_segments_replayed", rs.Segments, "wal_samples_replayed", rs.Samples,
 			"wal_tail_repaired", rs.TailTruncated)
@@ -106,14 +107,24 @@ func main() {
 			if lerr != nil {
 				fatal("loading snapshot", lerr)
 			}
-			db = loaded
+			if *tsdbShards > 1 {
+				// The gob snapshot is a single-store format; spread it over
+				// the requested shard layout.
+				db = tsdb.Reshard(loaded, *tsdbShards)
+			} else {
+				db = loaded
+			}
 			logger.Info("restored TSDB snapshot", "series", db.NumSeries(), "samples", db.NumSamples())
 		}
 	}
 	if db == nil || db.NumSamples() == 0 {
 		logger.Info("generating catalog and simulating operator workload", "duration", *duration)
 		if db == nil {
-			db = tsdb.New()
+			if *tsdbShards > 1 {
+				db = tsdb.NewSharded(*tsdbShards)
+			} else {
+				db = tsdb.New()
+			}
 		}
 		cfg := fivegsim.DefaultConfig()
 		cfg.Duration = *duration
@@ -144,6 +155,10 @@ func main() {
 	// itself resolve like any operator question.
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg)
+	if sh, ok := db.(*tsdb.ShardedDB); ok && store == nil {
+		// The durable store registers these itself in Instrument.
+		ingest.InstrumentShards(reg, sh)
+	}
 	if n := cat.AddSelfMetrics(); n > 0 {
 		logger.Info("registered dio_* self-metrics in the catalog", "count", n)
 	}
@@ -304,14 +319,19 @@ func main() {
 	<-done
 }
 
-// saveSnapshot atomically writes the TSDB snapshot.
-func saveSnapshot(db *tsdb.DB, path string) error {
+// saveSnapshot atomically writes the TSDB snapshot. Sharded stores are
+// gathered into the single-store gob format first.
+func saveSnapshot(db tsdb.Storage, path string) error {
+	single, ok := db.(*tsdb.DB)
+	if !ok {
+		single = db.(*tsdb.ShardedDB).Gather()
+	}
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := db.Snapshot(f); err != nil {
+	if err := single.Snapshot(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -28,7 +28,7 @@ type Evaluator struct {
 
 // NewEvaluator builds an evaluator over the populated database, evaluating
 // all queries at the newest sample timestamp.
-func NewEvaluator(db *tsdb.DB) (*Evaluator, error) {
+func NewEvaluator(db tsdb.Storage) (*Evaluator, error) {
 	_, maxT, ok := db.TimeRange()
 	if !ok {
 		return nil, fmt.Errorf("benchmark: database is empty")

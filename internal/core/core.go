@@ -129,7 +129,7 @@ func newPipelineMetrics(reg *obs.Registry) *pipelineMetrics {
 // Config assembles a Copilot.
 type Config struct {
 	Catalog *catalog.Database
-	TSDB    *tsdb.DB
+	TSDB    tsdb.Storage
 	Model   *llm.Model
 	Options Options
 	// Retriever overrides the default flat-index retriever (ablations use

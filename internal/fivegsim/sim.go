@@ -80,7 +80,7 @@ type secondaryModel struct {
 
 // Populate runs the simulation and appends every scraped sample to db.
 // The same (catalog, cfg) always produces the identical database.
-func Populate(db *tsdb.DB, cat *catalog.Database, cfg Config) (*Report, error) {
+func Populate(db tsdb.Storage, cat *catalog.Database, cfg Config) (*Report, error) {
 	if cfg.Step <= 0 || cfg.Duration <= 0 || cfg.Instances <= 0 {
 		return nil, fmt.Errorf("fivegsim: invalid config: step=%v duration=%v instances=%d", cfg.Step, cfg.Duration, cfg.Instances)
 	}
@@ -333,7 +333,7 @@ func staticGaugeSetpoints(cat *catalog.Database) map[string]float64 {
 }
 
 // scrape writes every metric's current value as per-instance series.
-func scrape(db *tsdb.DB, cat *catalog.Database, w *world, instances []string, ts int64) (int64, error) {
+func scrape(db tsdb.Storage, cat *catalog.Database, w *world, instances []string, ts int64) (int64, error) {
 	var n int64
 	appendSplit := func(name string, labels map[string]string, total float64) error {
 		shares := instanceShares(name, len(instances))

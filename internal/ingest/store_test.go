@@ -50,7 +50,7 @@ func scrapeBatches(seriesN, batchN, perBatch int) ([][]TimeSeries, *tsdb.DB) {
 }
 
 // identicalStores fails unless both stores answer queries byte-identically.
-func identicalStores(t *testing.T, got, want *tsdb.DB) {
+func identicalStores(t *testing.T, got, want tsdb.Storage) {
 	t.Helper()
 	if !reflect.DeepEqual(got.AllSeries(), want.AllSeries()) {
 		t.Fatalf("recovered store differs: %d/%d series, %d/%d samples",

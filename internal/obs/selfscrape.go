@@ -17,7 +17,7 @@ const SelfScrapeJobLabel = "dio"
 // /api/v1/query and ask pipeline as any operator metric.
 type SelfScraper struct {
 	reg      *Registry
-	db       *tsdb.DB
+	db       tsdb.Storage
 	interval time.Duration
 	logger   *slog.Logger
 	clock    func() time.Time
@@ -33,7 +33,7 @@ type SelfScraper struct {
 
 // NewSelfScraper wires a scraper from reg into db. interval <= 0 defaults
 // to 15s; logger may be nil to disable error logs.
-func NewSelfScraper(reg *Registry, db *tsdb.DB, interval time.Duration, logger *slog.Logger) *SelfScraper {
+func NewSelfScraper(reg *Registry, db tsdb.Storage, interval time.Duration, logger *slog.Logger) *SelfScraper {
 	if interval <= 0 {
 		interval = 15 * time.Second
 	}

@@ -71,6 +71,10 @@ type Hooks struct {
 	OnSamples func(int)
 	// OnRangeEval receives the select-once statistics of each range query.
 	OnRangeEval func(RangeStats)
+	// OnFanout receives the duration of each sharded storage fan-out (the
+	// batched per-shard select + merge). Only called when the engine
+	// fronts a ShardedDB.
+	OnFanout func(time.Duration)
 }
 
 // RangeStats summarises select-once evaluation for one range query.
@@ -85,15 +89,24 @@ type RangeStats struct {
 	// evaluation timestamps (subqueries re-anchoring their inner
 	// timeline).
 	CursorResets int
+	// DistPartials counts distribute-node evaluations served by per-shard
+	// partial aggregation; DistFallbacks counts evaluations that fell
+	// back to gather-then-evaluate (demoted by a runtime order guard).
+	// Both stay zero on unsharded storage.
+	DistPartials  int
+	DistFallbacks int
 }
 
-// Engine evaluates parsed expressions against a tsdb.DB. It is safe for
-// concurrent use.
+// Engine evaluates parsed expressions against a tsdb.Storage — a single
+// DB or a ShardedDB. It is safe for concurrent use.
 type Engine struct {
-	db    *tsdb.DB
-	opts  EngineOptions
-	gate  chan struct{}
-	hooks Hooks
+	db   tsdb.Storage
+	opts EngineOptions
+	// sharded is set when db fronts more than one shard; it unlocks the
+	// distribute optimizer pass and per-shard partial aggregation.
+	sharded *tsdb.ShardedDB
+	gate    chan struct{}
+	hooks   Hooks
 
 	// Compiled plans are cached by canonical expression string: plans
 	// store scan hints as offsets relative to the evaluation range, so
@@ -108,7 +121,7 @@ type Engine struct {
 const maxCachedPlans = 512
 
 // NewEngine returns an engine over db.
-func NewEngine(db *tsdb.DB, opts EngineOptions) *Engine {
+func NewEngine(db tsdb.Storage, opts EngineOptions) *Engine {
 	if opts.LookbackDelta <= 0 {
 		opts.LookbackDelta = 5 * time.Minute
 	}
@@ -119,6 +132,9 @@ func NewEngine(db *tsdb.DB, opts EngineOptions) *Engine {
 		}
 	}
 	e := &Engine{db: db, opts: opts, plans: make(map[string]*compiledPlan)}
+	if sh, ok := db.(*tsdb.ShardedDB); ok && sh.NumShards() > 1 {
+		e.sharded = sh
+	}
 	if opts.MaxConcurrent > 0 {
 		e.gate = make(chan struct{}, opts.MaxConcurrent)
 	}
@@ -140,6 +156,9 @@ func (e *Engine) planFor(expr Expr) (*compiledPlan, error) {
 	plan, err := newPlan(expr, e.opts)
 	if err != nil {
 		return nil, err
+	}
+	if e.sharded != nil {
+		distributePlan(plan, e.sharded.NumShards())
 	}
 	cp, err := compilePlan(plan)
 	if err != nil {
@@ -191,7 +210,7 @@ func (e *Engine) PlannerEnabled() bool { return e.usePlanner() }
 func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
 
 // DB returns the engine's backing store.
-func (e *Engine) DB() *tsdb.DB { return e.db }
+func (e *Engine) DB() tsdb.Storage { return e.db }
 
 // enter acquires a concurrency slot, reporting the queue wait. It returns
 // immediately when the engine is ungated.

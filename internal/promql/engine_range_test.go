@@ -45,7 +45,7 @@ var rangeCorpus = []string{
 // legacy select-once tree-walker, and the legacy stepwise tree-walker.
 // Options are constructed explicitly so the test pins all three paths even
 // when DIO_PROMQL_LEGACY is set in the environment.
-func equivalenceEngines(db *tsdb.DB) map[string]*Engine {
+func equivalenceEngines(db tsdb.Storage) map[string]*Engine {
 	planned := DefaultEngineOptions()
 	planned.LegacyEval = false
 	planned.StepwiseRange = false

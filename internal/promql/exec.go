@@ -60,6 +60,19 @@ type execState struct {
 	keys       map[labelsRef]string
 	lookbackMs int64
 
+	// shardSeries, when the engine fronts a ShardedDB and the plan holds
+	// distribute nodes, keeps the per-shard halves of the prefetch:
+	// shardSeries[shard][scanIdx]. The views are the same structs the
+	// merged series slices hold (one decode pass serves both).
+	shardSeries [][][]tsdb.SeriesView
+	// distDemoted[id] flips when distribute node id fails a runtime
+	// order guard; the node then evaluates over the merged view for the
+	// rest of this execution (sticky — re-checking a failed invariant
+	// every step buys nothing).
+	distDemoted   []atomic.Bool
+	distPartials  atomic.Int64
+	distFallbacks atomic.Int64
+
 	services     []int64 // per scan, atomic: operator reads served
 	resets       atomic.Int64
 	totalSamples atomic.Int64
@@ -79,11 +92,41 @@ func (e *Engine) newExecState(cp *compiledPlan, startMs, endMs int64) *execState
 		services:   make([]int64, len(cp.plan.scans)),
 		workers:    e.opts.ExecWorkers,
 	}
-	st.series = e.db.SelectBatch(cp.plan.selectHints(startMs, endMs))
+	hints := cp.plan.selectHints(startMs, endMs)
+	if e.sharded != nil {
+		fanStart := time.Now()
+		if len(cp.distScans) > 0 {
+			st.series, st.shardSeries = e.sharded.SelectBatchShards(hints)
+		} else {
+			st.series = e.sharded.SelectBatch(hints)
+		}
+		if e.hooks.OnFanout != nil {
+			e.hooks.OnFanout(time.Since(fanStart))
+		}
+	} else {
+		st.series = e.db.SelectBatch(hints)
+	}
 	for _, views := range st.series {
 		for _, sv := range views {
 			if len(sv.Labels) > 0 {
 				st.keys[labelsRef{&sv.Labels[0], len(sv.Labels)}] = sv.Fingerprint
+			}
+		}
+	}
+	if st.shardSeries != nil {
+		st.distDemoted = make([]atomic.Bool, len(cp.distScans))
+		// Name-first guard: name-dropping operators in a distributed
+		// child subtree preserve fingerprint order only while __name__
+		// sorts first in every view's label set (a label name ordered
+		// before "__name__" — e.g. starting with an uppercase letter —
+		// breaks the invariant). Checked once per execution, per
+		// distribute node, over the merged views of its scan.
+		for id, scanIdx := range cp.distScans {
+			for _, sv := range st.series[scanIdx] {
+				if len(sv.Labels) == 0 || sv.Labels[0].Name != tsdb.MetricNameLabel {
+					st.distDemoted[id].Store(true)
+					break
+				}
 			}
 		}
 	}
@@ -123,7 +166,13 @@ func (st *execState) stats() RangeStats {
 	if hits < 0 {
 		hits = 0
 	}
-	return RangeStats{SelectorHits: hits, SelectorMisses: misses, CursorResets: int(st.resets.Load())}
+	return RangeStats{
+		SelectorHits:   hits,
+		SelectorMisses: misses,
+		CursorResets:   int(st.resets.Load()),
+		DistPartials:   int(st.distPartials.Load()),
+		DistFallbacks:  int(st.distFallbacks.Load()),
+	}
 }
 
 // useCursor is the per-partition cursor state of one selector use site
@@ -143,6 +192,10 @@ type useCursor struct {
 type part struct {
 	st  *execState
 	ctx context.Context
+	// shard restricts selector reads to one shard's prefetched views;
+	// -1 reads the merged view. Only distribute-node children run with
+	// shard >= 0.
+	shard int
 	// samples is the per-step budget in sequential cursor mode; asamples
 	// replaces it in parallel instant mode.
 	samples  int
@@ -152,15 +205,114 @@ type part struct {
 	cursors   []useCursor
 	seriesPar bool
 	branchPar bool
+	// distParts caches this part's per-shard child parts (cursor mode
+	// keeps per-shard cursor state across steps); distAcc is the shared
+	// budget those parts account into, seeded from samples per call so
+	// MaxSamples trips at the same totals as unsharded evaluation.
+	distParts []*part
+	distAcc   *atomic.Int64
 }
 
 func (st *execState) newCursorPart(ctx context.Context) *part {
-	return &part{st: st, ctx: ctx, cursors: make([]useCursor, st.cp.nCursors)}
+	return &part{st: st, ctx: ctx, shard: -1, cursors: make([]useCursor, st.cp.nCursors)}
 }
 
 func (st *execState) newInstantPart(ctx context.Context) *part {
 	par := st.workers > 1
-	return &part{st: st, ctx: ctx, asamples: new(atomic.Int64), seriesPar: par, branchPar: par}
+	return &part{st: st, ctx: ctx, shard: -1, asamples: new(atomic.Int64), seriesPar: par, branchPar: par}
+}
+
+// shardParts returns one child part per shard for distribute-node
+// evaluation. Cursor-mode parts are cached (per-shard cursors advance
+// monotonically across steps, exactly like the parent's); instant-mode
+// parts are ephemeral because branch-parallel binary operands may
+// evaluate two distribute nodes on this part concurrently. Distribute
+// nodes share the cached parts safely: each child subtree owns disjoint
+// cursor slots.
+func (p *part) shardParts(n int) []*part {
+	if p.cursors == nil {
+		parts := make([]*part, n)
+		for i := range parts {
+			parts[i] = &part{st: p.st, ctx: p.ctx, shard: i, asamples: p.asamples, seriesPar: p.seriesPar}
+		}
+		return parts
+	}
+	if p.distParts == nil {
+		p.distAcc = new(atomic.Int64)
+		p.distParts = make([]*part, n)
+		for i := range p.distParts {
+			p.distParts[i] = &part{st: p.st, ctx: p.ctx, shard: i, asamples: p.distAcc, cursors: make([]useCursor, p.st.cp.nCursors)}
+		}
+	}
+	p.distAcc.Store(int64(p.samples))
+	return p.distParts
+}
+
+// seriesFor resolves a scan's prefetched views for this part's shard.
+func (p *part) seriesFor(scanIdx int) []tsdb.SeriesView {
+	if p.shard >= 0 {
+		return p.st.shardSeries[p.shard][scanIdx]
+	}
+	return p.st.series[scanIdx]
+}
+
+// mergeShardVectors k-way merges per-shard child vectors by label key,
+// guarding the two invariants the distributed path rests on: each shard
+// vector is strictly increasing in key (per-series operators preserved
+// shard view order and produced no duplicate keys), and no key appears on
+// two shards (fingerprint routing puts a series on exactly one shard; a
+// name-dropping collision would surface here as a cross-shard tie).
+// ok=false demotes the caller to the merged-view fallback.
+func (p *part) mergeShardVectors(vecs []Vector) (Vector, bool) {
+	total, live, lastIdx := 0, 0, 0
+	for i, v := range vecs {
+		if len(v) > 0 {
+			total += len(v)
+			live++
+			lastIdx = i
+		}
+	}
+	if total == 0 {
+		return Vector{}, true
+	}
+	if live == 1 {
+		// A single contributing shard is the merged result verbatim — its
+		// views were the whole merged view, so its output already matches
+		// the unsharded evaluation bit for bit.
+		return vecs[lastIdx], true
+	}
+	keys := make([][]string, len(vecs))
+	for i, v := range vecs {
+		ks := make([]string, len(v))
+		for j, s := range v {
+			ks[j] = p.keyOf(s.Labels)
+			if j > 0 && ks[j-1] >= ks[j] {
+				return nil, false
+			}
+		}
+		keys[i] = ks
+	}
+	out := make(Vector, 0, total)
+	heads := make([]int, len(vecs))
+	for len(out) < total {
+		best := -1
+		for i, v := range vecs {
+			if heads[i] >= len(v) {
+				continue
+			}
+			switch {
+			case best < 0:
+				best = i
+			case keys[i][heads[i]] == keys[best][heads[best]]:
+				return nil, false // cross-shard key tie: order undefined
+			case keys[i][heads[i]] < keys[best][heads[best]]:
+				best = i
+			}
+		}
+		out = append(out, vecs[best][heads[best]])
+		heads[best]++
+	}
+	return out, true
 }
 
 // eval runs one operator, enforcing cancellation at every node like the
@@ -231,7 +383,7 @@ func (p *part) keyOf(ls tsdb.Labels) string {
 // binary search otherwise. Results are in fingerprint order because the
 // prefetch is.
 func (p *part) instant(scanIdx, cur int, ts, outT int64) Vector {
-	series := p.st.series[scanIdx]
+	series := p.seriesFor(scanIdx)
 	atomic.AddInt64(&p.st.services[scanIdx], 1)
 	lookback := p.st.lookbackMs
 	out := make(Vector, 0, len(series))
@@ -275,7 +427,7 @@ func (p *part) instant(scanIdx, cur int, ts, outT int64) Vector {
 
 // windows serves a matrix window (start, end] plus total sample count.
 func (p *part) windows(scanIdx, cur int, start, end int64) (Matrix, int) {
-	series := p.st.series[scanIdx]
+	series := p.seriesFor(scanIdx)
 	atomic.AddInt64(&p.st.services[scanIdx], 1)
 	out := make(Matrix, 0, len(series))
 	total := 0

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"regexp"
+	"sync"
 
 	"dio/internal/tsdb"
 )
@@ -42,20 +43,25 @@ type compiledPlan struct {
 	// nCursors counts selector use sites: each gets a per-partition
 	// cursor slot for monotone multi-step execution.
 	nCursors int
+	// distScans maps distribute-node id → scan index, for the executor's
+	// per-shard prefetch and its order-preservation guard. Empty when the
+	// plan has no distribute nodes.
+	distScans []int
 }
 
 type compiler struct {
-	cursors int
+	cursors   int
+	distScans []int
 }
 
 // compilePlan lowers plan to physical operators.
 func compilePlan(plan *Plan) (*compiledPlan, error) {
-	c := &compiler{}
+	c := &compiler{distScans: make([]int, plan.dists)}
 	root, err := c.compile(plan.root)
 	if err != nil {
 		return nil, err
 	}
-	return &compiledPlan{plan: plan, root: root, nCursors: c.cursors}, nil
+	return &compiledPlan{plan: plan, root: root, nCursors: c.cursors, distScans: c.distScans}, nil
 }
 
 func (c *compiler) compile(n logNode) (physOp, error) {
@@ -107,6 +113,24 @@ func (c *compiler) compile(n logNode) (physOp, error) {
 				}
 			}
 		}
+		return op, nil
+	case *lDist:
+		child, err := c.compile(x.agg.child)
+		if err != nil {
+			return nil, err
+		}
+		op := &pDistAgg{ast: x.agg.ast, child: child, distID: x.id, shards: x.shards}
+		if x.agg.ast.Param != nil {
+			if sl, ok := x.agg.ast.Param.(*StringLiteral); ok {
+				op.strParam = sl.Val
+			} else {
+				op.param, err = c.compile(x.agg.param)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		c.distScans[x.id] = x.scan.ID
 		return op, nil
 	case *lBinary:
 		lhs, err := c.compile(x.lhs)
@@ -557,4 +581,92 @@ func (o *pBinary) exec(p *part, ts int64) (Value, error) {
 		return nil, rerr
 	}
 	return applyBinary(o.ast, lv, rv, ts)
+}
+
+// pDistAgg is the distributed form of pAgg: the shard-local child subtree
+// evaluates once per shard (concurrently, worker pool permitting) over
+// that shard's series views; the per-shard vectors k-way merge back into
+// the exact order the unsharded child would produce; then the unchanged
+// central aggregation kernel folds the merged vector. Any guard violation
+// (per-shard order, cross-shard key ties, name-first labels) demotes the
+// node — stickily, per execution — to the gather-then-evaluate fallback
+// over the merged view, so the distributed path can only ever change
+// performance, never bytes.
+type pDistAgg struct {
+	ast      *AggregateExpr
+	child    physOp
+	param    physOp // nil for string or absent parameters
+	strParam string
+	distID   int
+	shards   int
+}
+
+func (o *pDistAgg) exec(p *part, ts int64) (Value, error) {
+	vec, err := o.childVector(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	// Parameter after the input, on the merged view — pAgg's exact order.
+	var param float64
+	if o.param != nil {
+		param, err = p.scalar(o.param, ts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return aggregateVector(o.ast, vec, param, o.strParam, ts)
+}
+
+// childVector produces the aggregation input: per-shard fan-out + merge
+// on the fast path, a plain merged-view evaluation when demoted or when
+// the execution has no per-shard views (unsharded storage serving a
+// cached sharded plan never happens — plans are cached per engine — but
+// the nil check keeps the operator total).
+func (o *pDistAgg) childVector(p *part, ts int64) (Vector, error) {
+	st := p.st
+	if st.shardSeries == nil || st.distDemoted[o.distID].Load() {
+		if st.shardSeries != nil {
+			st.distFallbacks.Add(1)
+		}
+		return p.vector(o.child, ts)
+	}
+	parts := p.shardParts(o.shards)
+	vecs := make([]Vector, o.shards)
+	errs := make([]error, o.shards)
+	var wg sync.WaitGroup
+	for i := 1; i < o.shards; i++ {
+		if st.acquireWorker() {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer st.releaseWorker()
+				vecs[i], errs[i] = parts[i].vector(o.child, ts)
+			}(i)
+		} else {
+			vecs[i], errs[i] = parts[i].vector(o.child, ts)
+		}
+	}
+	vecs[0], errs[0] = parts[0].vector(o.child, ts)
+	wg.Wait()
+	if p.cursors != nil {
+		// Drain the shared shard budget back into the sequential counter.
+		p.samples = int(p.distAcc.Load())
+	}
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && (firstErr == nil || (isCancellation(firstErr) && !isCancellation(err))) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	merged, ok := p.mergeShardVectors(vecs)
+	if !ok {
+		st.distDemoted[o.distID].Store(true)
+		st.distFallbacks.Add(1)
+		return p.vector(o.child, ts)
+	}
+	st.distPartials.Add(1)
+	return merged, nil
 }

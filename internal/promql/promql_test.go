@@ -3,6 +3,8 @@ package promql
 import (
 	"context"
 	"math"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -16,7 +18,9 @@ import (
 //	  by 2/s (a) and 4/s (b), sampled every 15s for 30 minutes.
 //	smf_pdu_session_active{instance in {a,b}}: gauges 100 and 200.
 //	http_request_duration_seconds_bucket: a classic histogram.
-func testDB(t testing.TB) (*tsdb.DB, time.Time) {
+// When DIO_TSDB_SHARDS is set above 1 the fixture is resharded, so the
+// whole suite exercises the distributed executor against the same data.
+func testDB(t testing.TB) (tsdb.Storage, time.Time) {
 	t.Helper()
 	db := tsdb.New()
 	base := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
@@ -38,10 +42,22 @@ func testDB(t testing.TB) (*tsdb.DB, time.Time) {
 	}{{"0.1", 10}, {"0.5", 60}, {"+Inf", 100}} {
 		mustAppend(t, db, map[string]string{"__name__": "http_request_duration_seconds_bucket", "le": b.le}, end.UnixMilli(), b.v)
 	}
+	if n := testShards(); n > 1 {
+		return tsdb.Reshard(db, n), end
+	}
 	return db, end
 }
 
-func mustAppend(t testing.TB, db *tsdb.DB, labels map[string]string, ts int64, v float64) {
+// testShards reads DIO_TSDB_SHARDS (0 or unset means unsharded).
+func testShards() int {
+	n, err := strconv.Atoi(os.Getenv("DIO_TSDB_SHARDS"))
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}
+
+func mustAppend(t testing.TB, db tsdb.Storage, labels map[string]string, ts int64, v float64) {
 	t.Helper()
 	if err := db.Append(tsdb.FromMap(labels), ts, v); err != nil {
 		t.Fatalf("append: %v", err)
@@ -49,7 +65,7 @@ func mustAppend(t testing.TB, db *tsdb.DB, labels map[string]string, ts int64, v
 }
 
 // evalQuery evaluates q at ts and fails the test on error.
-func evalQuery(t *testing.T, db *tsdb.DB, q string, ts time.Time) Value {
+func evalQuery(t *testing.T, db tsdb.Storage, q string, ts time.Time) Value {
 	t.Helper()
 	eng := NewEngine(db, DefaultEngineOptions())
 	v, err := eng.Query(context.Background(), q, ts)

@@ -19,7 +19,7 @@ import (
 // A selCache belongs to a single QueryRange call and is not safe for
 // concurrent use.
 type selCache struct {
-	db      *tsdb.DB
+	db      tsdb.Storage
 	entries map[*VectorSelector]*selEntry
 	// keys maps label slices (by identity) to their canonical Labels.Key(),
 	// seeded with the fingerprints cached on fetched series. Selector
@@ -69,7 +69,7 @@ type selEntry struct {
 	winPos   bool // window cursors have been positioned at least once
 }
 
-func newSelCache(db *tsdb.DB) *selCache {
+func newSelCache(db tsdb.Storage) *selCache {
 	return &selCache{db: db, entries: make(map[*VectorSelector]*selEntry), keys: make(map[labelsRef]string)}
 }
 

@@ -1,0 +1,43 @@
+package tsdb
+
+// Storage is the read/append surface shared by a single DB and a
+// ShardedDB. Everything above the storage layer (ingest, promql, core,
+// the servers and benches) programs against this interface, so a
+// deployment picks its shard count with a flag instead of a rebuild.
+//
+// All read methods return results in canonical fingerprint order — the
+// ordering contract the select-once cursors, the plan executor's merge
+// and the byte-identity oracles rely on. A ShardedDB preserves it by
+// k-way merging the per-shard results (each shard is itself ordered,
+// and fingerprints never span shards).
+type Storage interface {
+	// Append path.
+	Append(ls Labels, t int64, v float64) error
+	AppendSamples(ls Labels, samples []Sample) (appended, outOfOrder, duplicate int, err error)
+
+	// Selection.
+	Select(matchers []*Matcher, t, lookback int64) []SeriesPoint
+	SelectRange(matchers []*Matcher, start, end int64) []SeriesRange
+	SelectSeries(matchers []*Matcher) []SeriesView
+	SelectBatch(hints []SelectHint) [][]SeriesView
+	AllSeries() []SeriesRange
+
+	// Index / metadata.
+	LabelValues(name string) []string
+	MetricNames() []string
+	HasMetric(name string) bool
+	MetricTimeRange(name string) (minT, maxT int64, ok bool)
+	TimeRange() (minT, maxT int64, ok bool)
+	HeadTime() int64
+
+	// Stats and retention.
+	NumSeries() int
+	NumSamples() int64
+	Stats() StorageStats
+	Truncate(keepAfter int64) int64
+}
+
+var (
+	_ Storage = (*DB)(nil)
+	_ Storage = (*ShardedDB)(nil)
+)

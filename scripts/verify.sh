@@ -10,6 +10,9 @@ go vet ./...
 echo ">> go test -race ./..."
 go test -race ./...
 
+echo ">> go test ./... with DIO_TSDB_SHARDS=4 (distributed executor leg)"
+DIO_TSDB_SHARDS=4 go test ./internal/promql/ ./internal/tsdb/ ./internal/ingest/
+
 # Opt-in: substrate micro-benchmarks with allocation reporting, plus the
 # perf gates — the plan-based executor must hold >= 1.5x over the legacy
 # evaluator on the dashboard query mix, and the durable ingest path must
@@ -22,8 +25,12 @@ if [ "${VERIFY_BENCH:-0}" = "1" ]; then
 	go run ./cmd/dio-bench -experiment engine -short
 	echo ">> dio-bench ingest gate (VERIFY_BENCH=1)"
 	go run ./cmd/dio-bench -experiment ingest -short
+	echo ">> dio-bench shard scaling curve (VERIFY_BENCH=1)"
+	go run ./cmd/dio-bench -experiment shard -short
 	echo ">> crash-recovery smoke (VERIFY_BENCH=1)"
 	./scripts/crash_smoke.sh
+	echo ">> crash-recovery smoke, 4-shard store (VERIFY_BENCH=1)"
+	CRASH_SMOKE_SHARDS=4 CRASH_SMOKE_PORT=18081 ./scripts/crash_smoke.sh
 fi
 
 echo "verify: OK"
