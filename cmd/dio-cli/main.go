@@ -42,6 +42,7 @@ func main() {
 	showDash := flag.Bool("dashboard", true, "render ASCII dashboards")
 	duration := flag.Duration("duration", time.Hour, "simulated trace length")
 	explain := flag.Bool("explain", false, "print the captured request trace (span tree) after each answer")
+	analyze := flag.Bool("analyze", false, "profile the generated query and print its EXPLAIN ANALYZE plan after each answer")
 	flag.Parse()
 
 	fmt.Fprintln(os.Stderr, "dio-cli: preparing the operator environment…")
@@ -74,6 +75,9 @@ func main() {
 	cp.Executor().SetAudit(sandbox.NewAuditLog(256, nil))
 
 	ctx := context.Background()
+	if *analyze {
+		ctx = core.WithAnalyze(ctx)
+	}
 	if *question != "" {
 		ask(ctx, cp, *question, *showDash, *explain)
 		return
@@ -94,7 +98,7 @@ func main() {
 		case line == "quit" || line == "exit":
 			return
 		case line == "help":
-			fmt.Println("Commands:\n  help              this message\n  quit              exit\n  expert            open an expert-assistance issue for the last answer\n  issues            list feedback issues\n  query <promql>    run PromQL directly through the sandbox\n  explain <promql>  show the optimized execution plan for a query\n  metrics <text>    search the domain-specific database\n  audit             show the sandboxed-query audit trail\n  anything else     a natural-language question about operator data")
+			fmt.Println("Commands:\n  help              this message\n  quit              exit\n  expert            open an expert-assistance issue for the last answer\n  issues            list feedback issues\n  query <promql>    run PromQL directly through the sandbox\n  explain <promql>  show the optimized execution plan for a query\n  explain -analyze <promql>\n                    execute the query and annotate the plan with\n                    measured per-operator cost (EXPLAIN ANALYZE)\n  metrics <text>    search the domain-specific database\n  audit             show the sandboxed-query audit trail\n  anything else     a natural-language question about operator data")
 		case line == "expert":
 			if lastAnswer == nil {
 				fmt.Println("Ask a question first.")
@@ -109,7 +113,7 @@ func main() {
 		case strings.HasPrefix(line, "query "):
 			runQuery(ctx, cp, strings.TrimPrefix(line, "query "))
 		case strings.HasPrefix(line, "explain "):
-			explainQuery(cp, strings.TrimPrefix(line, "explain "))
+			explainQuery(ctx, cp, strings.TrimPrefix(line, "explain "))
 		case strings.HasPrefix(line, "metrics "):
 			searchMetrics(cp, strings.TrimPrefix(line, "metrics "))
 		case line == "audit":
@@ -137,8 +141,19 @@ func runQuery(ctx context.Context, cp *core.Copilot, q string) {
 
 // explainQuery prints the optimized execution plan for raw PromQL: the
 // operator tree, scan hints and optimizer passes the engine would run.
-func explainQuery(cp *core.Copilot, q string) {
-	plan, err := cp.ExplainQuery(q)
+// With a leading -analyze the query actually executes and every operator
+// is annotated with its measured wall time (hot-path percentages), series
+// produced and stored samples scanned.
+func explainQuery(ctx context.Context, cp *core.Copilot, q string) {
+	var (
+		plan string
+		err  error
+	)
+	if rest, ok := strings.CutPrefix(q, "-analyze "); ok {
+		plan, err = cp.ExplainAnalyzeQuery(ctx, strings.TrimSpace(rest))
+	} else {
+		plan, err = cp.ExplainQuery(q)
+	}
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -204,6 +219,10 @@ func ask(ctx context.Context, cp *core.Copilot, q string, showDash, explain bool
 		return nil
 	}
 	fmt.Print(core.RenderAnswer(ans))
+	if ans.AnalyzedPlan != "" {
+		fmt.Println("\n-- explain analyze --")
+		fmt.Print(ans.AnalyzedPlan)
+	}
 	if showDash && ans.Dashboard != nil {
 		_, maxT, ok := cp.Executor().Engine().DB().TimeRange()
 		if ok {

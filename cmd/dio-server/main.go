@@ -15,6 +15,9 @@
 //	GET  /api/v1/feedback
 //	POST /api/v1/feedback                 {"question": "..."}
 //	POST /api/v1/feedback/{id}/resolve    {"expert": "...", ...}
+//	GET  /debug/plan?query=...&analyze=true
+//	GET  /debug/queries
+//	GET  /debug/queries/slow
 //	GET  /metrics
 //	GET  /healthz
 package main
@@ -66,6 +69,8 @@ func main() {
 	retention := flag.Duration("retention", 0, "drop samples older than this behind the TSDB head (0 keeps everything)")
 	checkpointEvery := flag.Duration("checkpoint-interval", 5*time.Minute, "how often the ingest store checkpoints and truncates its WAL")
 	tsdbShards := flag.Int("tsdb-shards", 1, "TSDB shards: >1 partitions series by fingerprint hash, parallelising ingest and fanning queries out to per-shard partial aggregation")
+	slowQuery := flag.Duration("slow-query-threshold", time.Second, "queries at least this long count as slow in the /debug/queries/slow log")
+	activeSlots := flag.Int("active-query-slots", 32, "in-flight queries tracked at once (the crash-survivable queries.active file holds this many slots)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("app", "dio-server")
@@ -194,7 +199,31 @@ func main() {
 	feedback.WireCopilot(tracker, cp)
 	tracker.Instrument(reg)
 
-	apiOpts := []httpapi.Option{httpapi.WithMetrics(reg)}
+	// Query-level profiling: a slow-query log over every engine query and
+	// an active-query tracker whose slot file (in -data-dir, falling back
+	// to -state) survives kill -9, so a restart can name the queries that
+	// were in flight when the process died.
+	qlog := obs.NewQueryLog(0, *slowQuery)
+	qlog.Instrument(reg)
+	trackerDir := *dataDir
+	if trackerDir == "" {
+		trackerDir = *stateDir
+	}
+	activeq, interrupted, err := obs.NewActiveQueryTracker(trackerDir, *activeSlots)
+	if err != nil {
+		fatal("active-query tracker", err)
+	}
+	defer activeq.Close()
+	for _, e := range interrupted {
+		logger.Warn("query interrupted by unclean shutdown",
+			"query", e.Query, "kind", e.Kind, "trace_id", e.TraceID, "started", e.Start)
+	}
+	cp.Executor().ObserveQueries(qlog, activeq)
+	logger.Info("query profiling enabled", "slow_threshold", *slowQuery,
+		"active_slots", *activeSlots, "tracker_dir", trackerDir)
+
+	apiOpts := []httpapi.Option{httpapi.WithMetrics(reg),
+		httpapi.WithQueryObservability(qlog, activeq)}
 	if store != nil {
 		store.Instrument(reg)
 		apiOpts = append(apiOpts, httpapi.WithIngest(store))

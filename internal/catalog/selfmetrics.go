@@ -127,6 +127,17 @@ var selfMetricDefs = []selfMetricDef{
 		desc: "Aggregation evaluations the DIO query engine served via per-shard partial aggregation merged centrally."},
 	{name: "dio_shard_fallbacks_total", typ: Counter,
 		desc: "Distributed aggregations the DIO query engine demoted to gather-then-evaluate because a runtime ordering guard could not prove the shard merge exact."},
+
+	// Query-level profiling (internal/obs slow-query log, fed by the
+	// engine's finished-query hook; browsable at /debug/queries/slow).
+	{name: "dio_query_total", typ: Counter, labels: []string{"kind"},
+		desc: "Queries evaluated by the DIO PromQL engine across every surface (asks, dashboard panels, direct API queries), partitioned by kind (instant, range)."},
+	{name: "dio_query_slow_total", typ: Counter,
+		desc: "DIO PromQL queries whose wall-clock duration reached the slow-query threshold and earned a /debug/queries/slow log entry."},
+	{name: "dio_query_duration_seconds", unit: "seconds", histogram: true,
+		desc: "Wall-clock duration of DIO PromQL query evaluations, measured by the engine's query-level profiler."},
+	{name: "dio_query_samples", unit: "samples", histogram: true,
+		desc: "Stored samples touched per DIO PromQL query evaluation, as counted by the query-level profiler feeding the slow-query log."},
 }
 
 // SelfMetrics returns the catalog entries for the copilot's dio_* metrics.

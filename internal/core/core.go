@@ -82,6 +82,26 @@ type Answer struct {
 	// ("" when trace capture is off or the request was not sampled); the
 	// full span tree is retrievable at /debug/traces/{id}.
 	TraceID string
+	// AnalyzedPlan is the EXPLAIN ANALYZE rendering of the executed query
+	// (per-operator wall time, series and sample counts). Only populated
+	// when the ask ran with WithAnalyze and execution succeeded.
+	AnalyzedPlan string
+}
+
+// analyzeKey marks a context as requesting per-operator execution
+// statistics on the answer.
+type analyzeKey struct{}
+
+// WithAnalyze marks ctx so the ask's sandboxed execution collects
+// EXPLAIN ANALYZE statistics into Answer.AnalyzedPlan (the `analyze`
+// flag of the HTTP ask API).
+func WithAnalyze(ctx context.Context) context.Context {
+	return context.WithValue(ctx, analyzeKey{}, true)
+}
+
+func analyzeFrom(ctx context.Context) bool {
+	on, _ := ctx.Value(analyzeKey{}).(bool)
+	return on
 }
 
 // Copilot is the assembled DIO pipeline. It is safe for concurrent use.
@@ -206,6 +226,23 @@ func (c *Copilot) Renderer() *dashboard.Renderer { return c.renderer }
 // queries that do not parse or cannot be planned.
 func (c *Copilot) ExplainQuery(query string) (string, error) {
 	return c.exec.Engine().Explain(query)
+}
+
+// ExplainAnalyzeQuery executes a PromQL query at the metric-aware
+// evaluation instant (the newest sample among the metrics it selects, so
+// frozen operator queries are profiled over their own timeline rather
+// than the live dio_* one) and returns the plan annotated with measured
+// per-operator cost: wall time with hot-path percentages, series
+// produced, and stored samples scanned. Unlike ExplainQuery this runs
+// the query for real.
+func (c *Copilot) ExplainAnalyzeQuery(ctx context.Context, query string) (string, error) {
+	ts := c.evalTime()
+	if expr, err := promql.Parse(query); err == nil {
+		if names := promql.MetricNames(expr); len(names) > 0 {
+			ts = c.evalTimeFor(names)
+		}
+	}
+	return c.exec.Engine().ExplainAnalyze(ctx, query, ts)
 }
 
 // Tracer returns the pipeline tracer (nil when the copilot was built
@@ -434,6 +471,13 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 		a.ValueText = selResp.Text
 	} else {
 		sctx, sp := obs.StartSpan(ctx, "sandbox-exec")
+		// An analyze ask captures execution statistics for this query only
+		// (the capture wraps the sandbox context, not the whole ask, so
+		// dashboard panel evaluations cannot overwrite it).
+		var capture *promql.StatsCapture
+		if analyzeFrom(ctx) && c.exec.Engine().StatsEnabled() {
+			sctx, capture = promql.WithQueryStats(sctx)
+		}
 		v, execErr := c.exec.Execute(sctx, a.Query, c.evalTimeFor(genResp.Metrics))
 		sp.SetError(execErr)
 		sp.End()
@@ -443,6 +487,11 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 		} else {
 			a.Value = v
 			a.ValueText = promql.FormatValue(v)
+			if capture != nil {
+				if qs := capture.Stats(); qs != nil {
+					a.AnalyzedPlan = qs.Render()
+				}
+			}
 		}
 	}
 

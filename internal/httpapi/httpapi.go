@@ -63,6 +63,11 @@ type Server struct {
 	// ingest is the durable WAL-backed store behind POST /api/v1/write
 	// (nil when the server runs memory-only).
 	ingest *ingest.Store
+
+	// qlog/activeq serve the query-profiling endpoints /debug/queries and
+	// /debug/queries/slow (nil when query observability is off).
+	qlog    *obs.QueryLog
+	activeq *obs.ActiveQueryTracker
 }
 
 // Option configures optional server features.
@@ -102,6 +107,18 @@ func WithServing(front *servecache.Front[*core.Answer], gate *servecache.Gate) O
 	}
 }
 
+// WithQueryObservability attaches the slow-query log and the active-query
+// tracker: GET /debug/queries lists in-flight queries and
+// GET /debug/queries/slow the slowest/heaviest finished ones. Either may
+// be nil to expose just one view. The caller wires the same instances
+// into the executor (Executor.ObserveQueries) so the engine feeds them.
+func WithQueryObservability(qlog *obs.QueryLog, tracker *obs.ActiveQueryTracker) Option {
+	return func(s *Server) {
+		s.qlog = qlog
+		s.activeq = tracker
+	}
+}
+
 // WithPprof mounts net/http/pprof under /debug/pprof/ (behind the server's
 // -debug flag; not meant for unauthenticated production exposure).
 func WithPprof() Option {
@@ -123,6 +140,8 @@ func New(cp *core.Copilot, tracker *feedback.Tracker, logger *slog.Logger, opts 
 	}
 	s.mux.HandleFunc("GET /api/v1/audit", s.handleAudit)
 	s.mux.HandleFunc("GET /debug/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /debug/queries", s.handleQueriesActive)
+	s.mux.HandleFunc("GET /debug/queries/slow", s.handleQueriesSlow)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraceList)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -210,15 +229,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// defaultTraceListLimit bounds GET /debug/traces responses when the
+// client sends no ?limit: the store holds hundreds of traces and an
+// unbounded listing made the endpoint unusable from a terminal.
+const defaultTraceListLimit = 50
+
 // handleTraceList serves GET /debug/traces: recent captured traces, newest
 // first. ?filter=recent|slow|errored|notable selects the view, ?limit=N
-// bounds it.
+// bounds it (default 50; 0 means unlimited).
 func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 	if s.traces == nil {
 		s.writeErr(w, http.StatusNotImplemented, errors.New("trace capture is not enabled"))
 		return
 	}
-	limit := 0
+	limit := defaultTraceListLimit
 	if lv := r.URL.Query().Get("limit"); lv != "" {
 		n, err := strconv.Atoi(lv)
 		if err != nil || n < 0 {
@@ -270,18 +294,113 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 // the engine compiles for the query, rendered as an operator tree with the
 // optimizer passes that applied. The plan comes from the same per-engine
 // cache the executor uses, so what this endpoint shows is what runs.
+// ?analyze=true executes the query and annotates every operator with its
+// measured wall time, series and sample counts (EXPLAIN ANALYZE).
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("query")
 	if q == "" {
 		s.writeErr(w, http.StatusBadRequest, errors.New("query parameter is required"))
 		return
 	}
-	plan, err := s.copilot.ExplainQuery(q)
+	analyze := false
+	if av := r.URL.Query().Get("analyze"); av != "" {
+		b, err := strconv.ParseBool(av)
+		if err != nil {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad analyze: %w", err))
+			return
+		}
+		analyze = b
+	}
+	var (
+		plan string
+		err  error
+	)
+	if analyze {
+		plan, err = s.copilot.ExplainAnalyzeQuery(r.Context(), q)
+	} else {
+		plan, err = s.copilot.ExplainQuery(q)
+	}
 	if err != nil {
 		s.writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"status": "success", "query": q, "plan": plan})
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status": "success", "query": q, "analyzed": analyze, "plan": plan,
+	})
+}
+
+// activeQueryWire is one GET /debug/queries row.
+type activeQueryWire struct {
+	Query     string    `json:"query"`
+	Kind      string    `json:"kind,omitempty"`
+	TraceID   string    `json:"trace_id,omitempty"`
+	Start     time.Time `json:"start"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// handleQueriesActive serves GET /debug/queries: the queries in flight
+// right now, oldest first, with the tracker's slot bound.
+func (s *Server) handleQueriesActive(w http.ResponseWriter, _ *http.Request) {
+	if s.activeq == nil {
+		s.writeErr(w, http.StatusNotImplemented, errors.New("query observability is not enabled"))
+		return
+	}
+	now := time.Now()
+	active := s.activeq.Active()
+	out := make([]activeQueryWire, 0, len(active))
+	for _, e := range active {
+		out = append(out, activeQueryWire{
+			Query: e.Query, Kind: e.Kind, TraceID: e.TraceID, Start: e.Start,
+			ElapsedMS: float64(now.Sub(e.Start)) / float64(time.Millisecond),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status": "success", "active": out, "max_slots": s.activeq.MaxSlots(),
+	})
+}
+
+// queryLogWire is one GET /debug/queries/slow row.
+type queryLogWire struct {
+	Query      string    `json:"query"`
+	Kind       string    `json:"kind"`
+	TraceID    string    `json:"trace_id,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Samples    int64     `json:"samples"`
+	Steps      int       `json:"steps,omitempty"`
+	Slow       bool      `json:"slow"`
+	Error      string    `json:"error,omitempty"`
+	Plan       string    `json:"plan,omitempty"`
+}
+
+func queryLogRows(entries []obs.QueryLogEntry) []queryLogWire {
+	out := make([]queryLogWire, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, queryLogWire{
+			Query: e.Query, Kind: e.Kind, TraceID: e.TraceID, Start: e.Start,
+			DurationMS: float64(e.Duration) / float64(time.Millisecond),
+			Samples:    e.Samples, Steps: e.Steps, Slow: e.Slow,
+			Error: e.Err, Plan: e.Plan,
+		})
+	}
+	return out
+}
+
+// handleQueriesSlow serves GET /debug/queries/slow: the slow-query log's
+// two rings — slowest by wall-clock duration and heaviest by stored
+// samples touched — each row carrying the compact analyzed plan and trace
+// ID for follow-up at /debug/traces/{id} and /debug/plan?analyze=true.
+func (s *Server) handleQueriesSlow(w http.ResponseWriter, _ *http.Request) {
+	if s.qlog == nil {
+		s.writeErr(w, http.StatusNotImplemented, errors.New("query observability is not enabled"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "success",
+		"threshold_ms": float64(s.qlog.Threshold()) / float64(time.Millisecond),
+		"slowest":      queryLogRows(s.qlog.Slowest()),
+		"heaviest":     queryLogRows(s.qlog.Heaviest()),
+	})
 }
 
 // handleExposition serves the Prometheus text exposition of the attached
@@ -325,12 +444,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // askRequest is the POST /api/v1/ask body. Explain forces trace capture
 // for this request (bypassing sampling) so the returned trace_id is
-// guaranteed to resolve at /debug/traces/{id}. NoCache skips the answer
-// cache for this request (the response still computes fresh and is not
-// stored).
+// guaranteed to resolve at /debug/traces/{id}. Analyze additionally
+// profiles the generated query's execution and returns the EXPLAIN
+// ANALYZE plan in analyzed_plan (implies a cache bypass — a cached
+// answer carries no fresh execution to profile). NoCache skips the
+// answer cache for this request (the response still computes fresh and
+// is not stored).
 type askRequest struct {
 	Question string `json:"question"`
 	Explain  bool   `json:"explain,omitempty"`
+	Analyze  bool   `json:"analyze,omitempty"`
 	NoCache  bool   `json:"nocache,omitempty"`
 }
 
@@ -346,6 +469,9 @@ type askResponse struct {
 	Dashboard *dashboard.Dashboard `json:"dashboard,omitempty"`
 	CostCents float64              `json:"cost_cents"`
 	TraceID   string               `json:"trace_id,omitempty"`
+	// AnalyzedPlan carries the per-operator execution profile of the
+	// generated query when the request set analyze.
+	AnalyzedPlan string `json:"analyzed_plan,omitempty"`
 }
 
 type askMetric struct {
@@ -392,6 +518,9 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	ctx := r.Context()
+	if req.Analyze {
+		ctx = core.WithAnalyze(ctx)
+	}
 	// The middleware starts traces before the body is readable, so an
 	// explain request that sampling skipped starts its own forced trace
 	// here (forced traces also get notable retention).
@@ -411,9 +540,10 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		err    error
 	)
 	if s.front != nil {
-		// Explain requests bypass: a cached answer's trace_id points at
-		// the original computation, not this request's forced trace.
-		ans, status, err = s.front.Do(ctx, req.Question, req.NoCache || req.Explain)
+		// Explain and analyze requests bypass: a cached answer's trace_id
+		// points at the original computation, and an analyzed plan only
+		// exists for a fresh execution.
+		ans, status, err = s.front.Do(ctx, req.Question, req.NoCache || req.Explain || req.Analyze)
 	} else {
 		ans, err = s.copilot.Ask(ctx, req.Question)
 	}
@@ -433,6 +563,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		Status: "success", Question: ans.Question, Task: ans.Task.String(),
 		Query: ans.Query, Answer: ans.ValueText, Dashboard: ans.Dashboard,
 		CostCents: ans.CostCents, TraceID: ans.TraceID,
+		AnalyzedPlan: ans.AnalyzedPlan,
 	}
 	if ans.ExecErr != nil {
 		resp.ExecError = ans.ExecErr.Error()

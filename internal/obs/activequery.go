@@ -1,0 +1,213 @@
+package obs
+
+// activequery.go — the active-query tracker: a bounded registry of
+// in-flight queries mirrored into a fixed-slot file on disk (the
+// Prometheus activeQueryTracker shape). Every query takes a slot on
+// entry and clears it on exit; writes go straight to the page cache with
+// no fsync, so the file survives a process kill (`kill -9`) — though not
+// an OS crash — and a restart can report exactly which queries were
+// running when the process died. A clean Close truncates the file, so
+// only unclean shutdowns report interrupted queries.
+//
+// On-disk layout: maxSlots fixed slots of aqSlotSize bytes, each a
+// 4-byte little-endian payload length followed by the JSON-encoded
+// entry; length zero marks a free slot. Entries that would overflow a
+// slot have their query string truncated — a cut-off expression in a
+// crash report beats a blocked or unreported query.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// aqSlotSize is the fixed on-disk footprint of one tracked query.
+const aqSlotSize = 512
+
+// ActiveQueryFile is the slot file's name inside the tracker directory.
+const ActiveQueryFile = "queries.active"
+
+// ActiveQueryEntry describes one in-flight (or interrupted) query.
+type ActiveQueryEntry struct {
+	Query   string    `json:"query"`
+	Kind    string    `json:"kind,omitempty"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Start   time.Time `json:"start"`
+}
+
+// ActiveQueryTracker is the bounded in-flight query registry. Safe for
+// concurrent use.
+type ActiveQueryTracker struct {
+	mu    sync.Mutex
+	f     *os.File // nil in memory-only mode (no directory configured)
+	slots []*ActiveQueryEntry
+	free  []int
+}
+
+// NewActiveQueryTracker opens (or creates) the slot file in dir and
+// returns the tracker plus the queries found in-flight from a previous
+// unclean shutdown, oldest first. The file is reinitialised after the
+// scan, so each interruption is reported once. An empty dir yields a
+// memory-only tracker (nothing survives a crash, Active still works).
+func NewActiveQueryTracker(dir string, maxSlots int) (*ActiveQueryTracker, []ActiveQueryEntry, error) {
+	if maxSlots <= 0 {
+		maxSlots = 32
+	}
+	t := &ActiveQueryTracker{slots: make([]*ActiveQueryEntry, maxSlots), free: make([]int, 0, maxSlots)}
+	for i := maxSlots - 1; i >= 0; i-- {
+		t.free = append(t.free, i) // pop order: slot 0 first
+	}
+	if dir == "" {
+		return t, nil, nil
+	}
+	path := filepath.Join(dir, ActiveQueryFile)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("active-query tracker: %w", err)
+	}
+	interrupted := readActiveSlots(f)
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("active-query tracker: %w", err)
+	}
+	if err := f.Truncate(int64(maxSlots) * aqSlotSize); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("active-query tracker: %w", err)
+	}
+	t.f = f
+	return t, interrupted, nil
+}
+
+// readActiveSlots decodes every occupied slot of a tracker file, oldest
+// entry first. Corrupt slots (torn writes from the crash itself) are
+// skipped: the tracker is a reporting aid, not a source of truth.
+func readActiveSlots(f *os.File) []ActiveQueryEntry {
+	info, err := f.Stat()
+	if err != nil || info.Size() == 0 {
+		return nil
+	}
+	var out []ActiveQueryEntry
+	buf := make([]byte, aqSlotSize)
+	for off := int64(0); off+aqSlotSize <= info.Size(); off += aqSlotSize {
+		if _, err := f.ReadAt(buf, off); err != nil {
+			break
+		}
+		n := binary.LittleEndian.Uint32(buf)
+		if n == 0 || n > aqSlotSize-4 {
+			continue
+		}
+		var e ActiveQueryEntry
+		if json.Unmarshal(buf[4:4+n], &e) == nil && e.Query != "" {
+			out = append(out, e)
+		}
+	}
+	sortByStart(out)
+	return out
+}
+
+func sortByStart(es []ActiveQueryEntry) {
+	sort.SliceStable(es, func(i, j int) bool { return es[i].Start.Before(es[j].Start) })
+}
+
+// Insert registers an in-flight query and returns its slot, or -1 when
+// every slot is taken (the query still runs — the tracker never blocks
+// or rejects work, it only loses visibility past its bound).
+func (t *ActiveQueryTracker) Insert(query, kind, traceID string) int {
+	e := &ActiveQueryEntry{Query: query, Kind: kind, TraceID: traceID, Start: time.Now()}
+	t.mu.Lock()
+	if len(t.free) == 0 {
+		t.mu.Unlock()
+		return -1
+	}
+	slot := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	t.slots[slot] = e
+	t.mu.Unlock()
+	t.writeSlot(slot, e)
+	return slot
+}
+
+// Done clears a slot returned by Insert; Done(-1) is a no-op.
+func (t *ActiveQueryTracker) Done(slot int) {
+	if slot < 0 {
+		return
+	}
+	t.mu.Lock()
+	if slot >= len(t.slots) || t.slots[slot] == nil {
+		t.mu.Unlock()
+		return
+	}
+	t.slots[slot] = nil
+	t.free = append(t.free, slot)
+	t.mu.Unlock()
+	t.writeSlot(slot, nil)
+}
+
+// writeSlot persists one slot (nil clears it). Page-cache write only —
+// surviving kill -9 needs no fsync, and queries must not wait on disk.
+func (t *ActiveQueryTracker) writeSlot(slot int, e *ActiveQueryEntry) {
+	if t.f == nil {
+		return
+	}
+	buf := make([]byte, aqSlotSize)
+	if e != nil {
+		entry := *e
+		payload, err := json.Marshal(&entry)
+		for err == nil && len(payload) > aqSlotSize-4 && entry.Query != "" {
+			cut := len(payload) - (aqSlotSize - 4)
+			if cut > len(entry.Query) {
+				cut = len(entry.Query)
+			}
+			entry.Query = entry.Query[:len(entry.Query)-cut]
+			payload, err = json.Marshal(&entry)
+		}
+		if err != nil || len(payload) > aqSlotSize-4 {
+			return
+		}
+		binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+		copy(buf[4:], payload)
+	}
+	t.f.WriteAt(buf, int64(slot)*aqSlotSize)
+}
+
+// Active snapshots the in-flight queries, oldest first.
+func (t *ActiveQueryTracker) Active() []ActiveQueryEntry {
+	t.mu.Lock()
+	out := make([]ActiveQueryEntry, 0, len(t.slots))
+	for _, e := range t.slots {
+		if e != nil {
+			out = append(out, *e)
+		}
+	}
+	t.mu.Unlock()
+	sortByStart(out)
+	return out
+}
+
+// MaxSlots returns the tracker's slot bound.
+func (t *ActiveQueryTracker) MaxSlots() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.slots)
+}
+
+// Close truncates the slot file (a clean shutdown reports no interrupted
+// queries) and closes it.
+func (t *ActiveQueryTracker) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Truncate(0)
+	if cerr := t.f.Close(); err == nil {
+		err = cerr
+	}
+	t.f = nil
+	return err
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestActiveQueryTrackerLifecycle: insert/done cycles a slot, Active
+// snapshots oldest-first, and a reopened tracker after a clean Close
+// reports nothing interrupted.
+func TestActiveQueryTrackerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	tr, interrupted, err := NewActiveQueryTracker(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(interrupted) != 0 {
+		t.Fatalf("fresh tracker reported interruptions: %+v", interrupted)
+	}
+	if tr.MaxSlots() != 4 {
+		t.Errorf("MaxSlots = %d, want 4", tr.MaxSlots())
+	}
+
+	s1 := tr.Insert("up", "instant", "trace-1")
+	s2 := tr.Insert("rate(x[5m])", "range", "")
+	if s1 < 0 || s2 < 0 || s1 == s2 {
+		t.Fatalf("bad slots: %d %d", s1, s2)
+	}
+	active := tr.Active()
+	if len(active) != 2 || active[0].Query != "up" || active[1].Query != "rate(x[5m])" {
+		t.Fatalf("Active = %+v, want [up rate(x[5m])] oldest first", active)
+	}
+	if active[0].TraceID != "trace-1" || active[0].Kind != "instant" {
+		t.Errorf("entry lost kind/trace: %+v", active[0])
+	}
+
+	tr.Done(s1)
+	tr.Done(-1) // no-op
+	if got := tr.Active(); len(got) != 1 || got[0].Query != "rate(x[5m])" {
+		t.Fatalf("after Done: Active = %+v", got)
+	}
+	tr.Done(s2)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean shutdown: the reopened file holds no interrupted queries.
+	tr2, interrupted, err := NewActiveQueryTracker(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if len(interrupted) != 0 {
+		t.Fatalf("clean shutdown reported interruptions: %+v", interrupted)
+	}
+}
+
+// TestActiveQueryTrackerUncleanReopen: entries still occupying slots when
+// the file is abandoned (no Close) surface on the next open, oldest first,
+// and are reported exactly once.
+func TestActiveQueryTrackerUncleanReopen(t *testing.T) {
+	dir := t.TempDir()
+	tr, _, err := NewActiveQueryTracker(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Insert("first", "instant", "")
+	time.Sleep(2 * time.Millisecond) // distinct Start stamps for the sort
+	tr.Insert("second", "range", "t2")
+	done := tr.Insert("finished", "instant", "")
+	tr.Done(done)
+	// Simulate a crash: drop the tracker without Close (the *os.File stays
+	// open, but the slot bytes are already in the page cache / on disk).
+
+	tr2, interrupted, err := NewActiveQueryTracker(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(interrupted) != 2 || interrupted[0].Query != "first" || interrupted[1].Query != "second" {
+		t.Fatalf("interrupted = %+v, want [first second]", interrupted)
+	}
+	if interrupted[1].TraceID != "t2" {
+		t.Errorf("interrupted entry lost its trace ID: %+v", interrupted[1])
+	}
+	tr2.Close()
+
+	// The scan reinitialised the file: a third open reports nothing.
+	tr3, interrupted, err := NewActiveQueryTracker(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr3.Close()
+	if len(interrupted) != 0 {
+		t.Fatalf("interruption reported twice: %+v", interrupted)
+	}
+}
+
+// TestActiveQueryTrackerFull: past the slot bound Insert returns -1 (the
+// query runs untracked) and a Done frees the slot for the next query.
+func TestActiveQueryTrackerFull(t *testing.T) {
+	tr, _, err := NewActiveQueryTracker("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tr.Insert("a", "instant", "")
+	tr.Insert("b", "instant", "")
+	if got := tr.Insert("c", "instant", ""); got != -1 {
+		t.Fatalf("Insert on a full tracker = %d, want -1", got)
+	}
+	tr.Done(a)
+	if got := tr.Insert("d", "instant", ""); got < 0 {
+		t.Fatal("Insert after Done still rejected")
+	}
+}
+
+// TestActiveQueryTrackerMemoryOnly: with no directory the tracker still
+// registers and snapshots queries — it just has nothing to replay.
+func TestActiveQueryTrackerMemoryOnly(t *testing.T) {
+	tr, interrupted, err := NewActiveQueryTracker("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interrupted != nil {
+		t.Fatalf("memory-only tracker reported interruptions: %+v", interrupted)
+	}
+	if tr.MaxSlots() != 32 {
+		t.Errorf("default MaxSlots = %d, want 32", tr.MaxSlots())
+	}
+	s := tr.Insert("up", "instant", "")
+	if got := tr.Active(); len(got) != 1 {
+		t.Fatalf("Active = %+v", got)
+	}
+	tr.Done(s)
+	if err := tr.Close(); err != nil {
+		t.Errorf("memory-only Close: %v", err)
+	}
+}
+
+// TestActiveQueryTrackerTruncatesOversized: a query too large for its
+// 512-byte slot is stored cut down, never dropped or blocking.
+func TestActiveQueryTrackerTruncatesOversized(t *testing.T) {
+	dir := t.TempDir()
+	tr, _, err := NewActiveQueryTracker(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := strings.Repeat("x", 4*aqSlotSize)
+	if s := tr.Insert(long, "instant", ""); s < 0 {
+		t.Fatal("oversized query rejected")
+	}
+	// Abandon without Close; the reopened tracker must surface a truncated
+	// prefix of the query.
+	_, interrupted, err := NewActiveQueryTracker(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(interrupted) != 1 {
+		t.Fatalf("interrupted = %+v, want one truncated entry", interrupted)
+	}
+	got := interrupted[0].Query
+	if len(got) == 0 || len(got) >= aqSlotSize || !strings.HasPrefix(long, got) {
+		t.Fatalf("truncated query = %d bytes, want a non-empty prefix under %d", len(got), aqSlotSize)
+	}
+}
+
+// TestActiveQueryTrackerSurvivesKill is the crash oracle: a subprocess
+// registers a query, reports ready, and dies by SIGKILL mid-flight — no
+// deferred cleanup, no atexit. The reopened tracker must name the exact
+// in-flight expression.
+func TestActiveQueryTrackerSurvivesKill(t *testing.T) {
+	if os.Getenv("DIO_AQ_CRASH_HELPER") == "1" {
+		helperRegisterAndHang()
+		return
+	}
+	if testing.Short() {
+		t.Skip("subprocess crash test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestActiveQueryTrackerSurvivesKill$", "-test.v")
+	cmd.Env = append(os.Environ(), "DIO_AQ_CRASH_HELPER=1", "DIO_AQ_CRASH_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the helper to confirm its slot write, then kill -9.
+	ready := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "AQ_HELPER_READY") {
+				ready <- nil
+				return
+			}
+		}
+		ready <- sc.Err()
+	}()
+	select {
+	case err := <-ready:
+		if err != nil {
+			t.Fatalf("helper never became ready: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("timeout waiting for the crash helper")
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // reaps the corpse; the exit error is the point
+
+	tr, interrupted, err := NewActiveQueryTracker(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if len(interrupted) != 1 {
+		t.Fatalf("interrupted = %+v, want exactly the in-flight query", interrupted)
+	}
+	e := interrupted[0]
+	if e.Query != "sum by (instance)(rate(amfcc_n1_auth_request[5m]))" {
+		t.Errorf("interrupted query = %q, want the helper's expression", e.Query)
+	}
+	if e.Kind != "range" || e.TraceID != "crash-trace" {
+		t.Errorf("interrupted entry lost kind/trace: %+v", e)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ActiveQueryFile)); err != nil {
+		t.Errorf("slot file missing after reopen: %v", err)
+	}
+}
+
+// helperRegisterAndHang is the subprocess body of the kill test: register
+// one query, signal readiness, and hang until killed.
+func helperRegisterAndHang() {
+	tr, _, err := NewActiveQueryTracker(os.Getenv("DIO_AQ_CRASH_DIR"), 8)
+	if err != nil {
+		os.Exit(1)
+	}
+	tr.Insert("sum by (instance)(rate(amfcc_n1_auth_request[5m]))", "range", "crash-trace")
+	os.Stdout.WriteString("AQ_HELPER_READY\n")
+	select {} // hold the query in flight until SIGKILL
+}

@@ -282,7 +282,9 @@ func FormatTrace(td *TraceData) string {
 	var walk func(n *SpanTree, depth int)
 	walk = func(n *SpanTree, depth int) {
 		indent := strings.Repeat("  ", depth)
-		fmt.Fprintf(&b, "%s- %s  %.2fms", indent, n.Name, n.DurationMS)
+		// Self-time excludes children, so a span's own cost reads directly
+		// off the tree (mirroring the "self" column of EXPLAIN ANALYZE).
+		fmt.Fprintf(&b, "%s- %s  %.2fms (self %.2fms)", indent, n.Name, n.DurationMS, spanSelfMS(n))
 		if n.Error != "" {
 			fmt.Fprintf(&b, "  ERROR: %s", n.Error)
 		}
@@ -305,6 +307,19 @@ func FormatTrace(td *TraceData) string {
 		walk(c, 0)
 	}
 	return b.String()
+}
+
+// spanSelfMS is a span's exclusive duration: total minus its children,
+// clamped at zero (concurrent children can overlap their parent).
+func spanSelfMS(n *SpanTree) float64 {
+	self := n.DurationMS
+	for _, c := range n.Children {
+		self -= c.DurationMS
+	}
+	if self < 0 {
+		return 0
+	}
+	return self
 }
 
 // formatAttr prints one span attribute at the given indent. Multi-line

@@ -46,6 +46,11 @@ type EngineOptions struct {
 	// partitions). Zero picks min(GOMAXPROCS, 16); 1 forces sequential
 	// execution.
 	ExecWorkers int
+	// DisableQueryStats turns off per-operator execution statistics
+	// (EXPLAIN ANALYZE, the slow-query log's analyzed plans). Collection
+	// is on by default: it is allocation-free on the hot path and gated
+	// at <= 5% overhead by dio-bench -experiment querystats.
+	DisableQueryStats bool
 }
 
 // DefaultEngineOptions mirrors Prometheus defaults. Setting
@@ -56,6 +61,15 @@ func DefaultEngineOptions() EngineOptions {
 	o := EngineOptions{LookbackDelta: 5 * time.Minute, MaxSamples: 50_000_000, Timeout: 2 * time.Minute, MaxConcurrent: 20}
 	if os.Getenv("DIO_PROMQL_LEGACY") != "" {
 		o.LegacyEval = true
+	}
+	// DIO_QUERY_STATS pins per-operator stats collection for a whole test
+	// run: "0" disables it, "1" forces it on (the default; the CI leg uses
+	// it to keep the always-on contract from flipping silently).
+	switch os.Getenv("DIO_QUERY_STATS") {
+	case "0":
+		o.DisableQueryStats = true
+	case "1":
+		o.DisableQueryStats = false
 	}
 	return o
 }
@@ -75,6 +89,15 @@ type Hooks struct {
 	// batched per-shard select + merge). Only called when the engine
 	// fronts a ShardedDB.
 	OnFanout func(time.Duration)
+	// OnQueryStart fires when a query begins evaluating (after the
+	// concurrency gate), for every path — planner and legacy, instant and
+	// range. The returned func fires when the query finishes, whatever
+	// the outcome: the active-query tracker's insert/release pair.
+	OnQueryStart func(query, kind, traceID string) func()
+	// OnQueryDone receives every finished query's log entry — the
+	// slow-query log's feed. Entries carry the compact analyzed plan when
+	// stats collection ran (plan-based path with stats enabled).
+	OnQueryDone func(obs.QueryLogEntry)
 }
 
 // RangeStats summarises select-once evaluation for one range query.
@@ -146,29 +169,31 @@ func NewEngine(db tsdb.Storage, opts EngineOptions) *Engine {
 func (e *Engine) usePlanner() bool { return !e.opts.LegacyEval && !e.opts.StepwiseRange }
 
 // planFor compiles (or fetches from cache) the physical plan for expr.
-func (e *Engine) planFor(expr Expr) (*compiledPlan, error) {
+// hit reports whether the plan came from the cache (surfaced by EXPLAIN
+// ANALYZE as the plan-cache annotation).
+func (e *Engine) planFor(expr Expr) (cp *compiledPlan, hit bool, err error) {
 	key := expr.String()
 	e.planMu.Lock()
 	defer e.planMu.Unlock()
 	if cp, ok := e.plans[key]; ok {
-		return cp, nil
+		return cp, true, nil
 	}
 	plan, err := newPlan(expr, e.opts)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if e.sharded != nil {
 		distributePlan(plan, e.sharded.NumShards())
 	}
-	cp, err := compilePlan(plan)
+	cp, err = compilePlan(plan)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if len(e.plans) >= maxCachedPlans {
 		e.plans = make(map[string]*compiledPlan)
 	}
 	e.plans[key] = cp
-	return cp, nil
+	return cp, false, nil
 }
 
 // Explain parses input and returns the optimized plan rendered as an
@@ -184,7 +209,7 @@ func (e *Engine) Explain(input string) (string, error) {
 
 // ExplainExpr is Explain for an already parsed expression.
 func (e *Engine) ExplainExpr(expr Expr) (string, error) {
-	cp, err := e.planFor(expr)
+	cp, _, err := e.planFor(expr)
 	if err != nil {
 		return "", err
 	}
@@ -194,11 +219,45 @@ func (e *Engine) ExplainExpr(expr Expr) (string, error) {
 // ExplainCompact returns the one-line plan form — the same string the
 // executor attaches to trace spans as the promql.plan attribute.
 func (e *Engine) ExplainCompact(expr Expr) (string, error) {
-	cp, err := e.planFor(expr)
+	cp, _, err := e.planFor(expr)
 	if err != nil {
 		return "", err
 	}
 	return cp.plan.Compact(), nil
+}
+
+// ExplainAnalyze executes input at ts and returns the plan annotated with
+// the measured per-operator statistics (wall time with hot-path
+// percentages, calls, output series, samples scanned, per-shard fan-out
+// latencies). The query really runs — budget, gate and hooks included.
+func (e *Engine) ExplainAnalyze(ctx context.Context, input string, ts time.Time) (string, error) {
+	expr, err := Parse(input)
+	if err != nil {
+		return "", err
+	}
+	ctx, cap := WithQueryStats(ctx)
+	if _, err := e.Eval(ctx, expr, ts); err != nil {
+		return "", err
+	}
+	return renderCapture(cap)
+}
+
+// ExplainAnalyzeRange is ExplainAnalyze over a range evaluation — the
+// dashboard-panel shape, with per-operator stats summed across steps.
+func (e *Engine) ExplainAnalyzeRange(ctx context.Context, input string, start, end time.Time, step time.Duration) (string, error) {
+	ctx, cap := WithQueryStats(ctx)
+	if _, err := e.QueryRange(ctx, input, start, end, step); err != nil {
+		return "", err
+	}
+	return renderCapture(cap)
+}
+
+func renderCapture(cap *StatsCapture) (string, error) {
+	qs := cap.Stats()
+	if qs == nil {
+		return "", errors.New("promql: no execution statistics collected (stats disabled or legacy evaluator)")
+	}
+	return qs.Render(), nil
 }
 
 // PlannerEnabled reports whether queries route through the plan-based
@@ -208,6 +267,63 @@ func (e *Engine) PlannerEnabled() bool { return e.usePlanner() }
 // SetHooks installs observation hooks. Call before the engine serves
 // concurrent queries.
 func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
+
+// StatsEnabled reports whether per-operator execution statistics are
+// collected for this engine's queries (plan-based path with stats on).
+func (e *Engine) StatsEnabled() bool { return !e.opts.DisableQueryStats && e.usePlanner() }
+
+// finishNothing is beginQuery's no-op finish when no query hooks are set.
+func finishNothing(error) {}
+
+// beginQuery opens query-level observability for one evaluation: it
+// registers the query with the active-query tracker hook, installs a
+// stats capture when the slow-query log wants analyzed plans and the
+// caller did not bring its own, and returns a finish func fired with the
+// evaluation outcome.
+func (e *Engine) beginQuery(ctx context.Context, expr Expr, kind string) (context.Context, func(error)) {
+	if e.hooks.OnQueryStart == nil && e.hooks.OnQueryDone == nil {
+		return ctx, finishNothing
+	}
+	query := expr.String()
+	traceID := obs.SpanFrom(ctx).TraceID()
+	start := time.Now()
+	var release func()
+	if e.hooks.OnQueryStart != nil {
+		release = e.hooks.OnQueryStart(query, kind, traceID)
+	}
+	if e.hooks.OnQueryDone != nil && e.StatsEnabled() {
+		if _, ok := statsCaptureFrom(ctx); !ok {
+			ctx, _ = WithQueryStats(ctx)
+		}
+	}
+	fctx := ctx
+	return ctx, func(evalErr error) {
+		if release != nil {
+			release()
+		}
+		if e.hooks.OnQueryDone == nil {
+			return
+		}
+		ent := obs.QueryLogEntry{
+			Query:    query,
+			Kind:     kind,
+			TraceID:  traceID,
+			Start:    start,
+			Duration: time.Since(start),
+		}
+		if evalErr != nil {
+			ent.Err = evalErr.Error()
+		}
+		if cap, ok := statsCaptureFrom(fctx); ok {
+			if qs := cap.Stats(); qs != nil {
+				ent.Samples = qs.Samples
+				ent.Steps = qs.Steps
+				ent.Plan = qs.Compact()
+			}
+		}
+		e.hooks.OnQueryDone(ent)
+	}
+}
 
 // DB returns the engine's backing store.
 func (e *Engine) DB() tsdb.Storage { return e.db }
@@ -273,11 +389,13 @@ func (e *Engine) Query(ctx context.Context, input string, ts time.Time) (Value, 
 
 // Eval evaluates expr at the instant ts, waiting for a concurrency slot
 // when the engine is gated.
-func (e *Engine) Eval(ctx context.Context, expr Expr, ts time.Time) (Value, error) {
+func (e *Engine) Eval(ctx context.Context, expr Expr, ts time.Time) (v Value, err error) {
 	if err := e.enter(ctx); err != nil {
 		return nil, err
 	}
 	defer e.exit()
+	ctx, fin := e.beginQuery(ctx, expr, "instant")
+	defer func() { fin(err) }()
 	return e.evalInstant(ctx, expr, ts)
 }
 
@@ -307,7 +425,7 @@ func (e *Engine) evalInstant(ctx context.Context, expr Expr, ts time.Time) (Valu
 // selector for the whole range: every step after the first advances
 // per-series cursors over the fetched samples instead of re-running
 // Select/SelectRange (disable with EngineOptions.StepwiseRange).
-func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.Time, step time.Duration) (Matrix, error) {
+func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.Time, step time.Duration) (m Matrix, err error) {
 	expr, err := Parse(input)
 	if err != nil {
 		return nil, err
@@ -322,6 +440,8 @@ func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.T
 		return nil, err
 	}
 	defer e.exit()
+	ctx, fin := e.beginQuery(ctx, expr, "range")
+	defer func() { fin(err) }()
 	// The engine timeout spans the whole range evaluation (the stepwise
 	// path bounded each step separately, which let a slow range query run
 	// for steps × Timeout).

@@ -77,6 +77,14 @@ type execState struct {
 	resets       atomic.Int64
 	totalSamples atomic.Int64
 
+	// opStats, when non-nil, holds one accumulator per operator of the
+	// compiled plan (indexed by statsIdx) — the EXPLAIN ANALYZE slab,
+	// pre-sized once per execution and updated with atomics. shardWallNs
+	// adds per-shard fan-out wall times for distribute nodes, indexed
+	// distID*shards+shard.
+	opStats     []opSlot
+	shardWallNs []int64
+
 	workers int
 	sem     chan struct{} // bounds extra goroutines beyond the caller's
 }
@@ -132,6 +140,12 @@ func (e *Engine) newExecState(cp *compiledPlan, startMs, endMs int64) *execState
 	}
 	if st.workers > 1 {
 		st.sem = make(chan struct{}, st.workers-1)
+	}
+	if !e.opts.DisableQueryStats {
+		st.opStats = make([]opSlot, len(cp.stats))
+		if st.shardSeries != nil && len(cp.distScans) > 0 {
+			st.shardWallNs = make([]int64, len(cp.distScans)*len(st.shardSeries))
+		}
 	}
 	return st
 }
@@ -316,12 +330,64 @@ func (p *part) mergeShardVectors(vecs []Vector) (Vector, bool) {
 }
 
 // eval runs one operator, enforcing cancellation at every node like the
-// legacy evaluator's eval dispatcher.
+// legacy evaluator's eval dispatcher. With stats collection on it also
+// accumulates the operator's call count and output series into its
+// pre-sized slot — atomics only, no allocation, and never a change to
+// the value flowing through (stats-on output is byte-identical). Wall
+// time is sampled (every statsTimeEvery-th call per operator, the first
+// included) and scaled back up by buildOp: on hosts without a cheap
+// monotonic clock a per-call time.Now pair alone would blow the 5%
+// overhead budget dio-bench enforces.
 func (p *part) eval(op physOp, ts int64) (Value, error) {
 	if err := p.ctx.Err(); err != nil {
 		return nil, err
 	}
-	return op.exec(p, ts)
+	if p.st.opStats == nil {
+		return op.exec(p, ts)
+	}
+	sl := &p.st.opStats[op.statsIdx()]
+	if (atomic.AddInt64(&sl.calls, 1)-1)&(statsTimeEvery-1) != 0 {
+		v, err := op.exec(p, ts)
+		sl.noteValue(v)
+		return v, err
+	}
+	begin := time.Now()
+	v, err := op.exec(p, ts)
+	atomic.AddInt64(&sl.wallNs, int64(time.Since(begin)))
+	atomic.AddInt64(&sl.timed, 1)
+	sl.noteValue(v)
+	return v, err
+}
+
+// window runs a window-producing operator (the pRangeFunc input path,
+// which bypasses eval), mirroring eval's stats collection.
+func (p *part) window(op windowOp, ts int64) (Matrix, int64, int64, error) {
+	if err := p.ctx.Err(); err != nil {
+		return nil, 0, 0, err
+	}
+	if p.st.opStats == nil {
+		return op.window(p, ts)
+	}
+	sl := &p.st.opStats[op.statsIdx()]
+	if (atomic.AddInt64(&sl.calls, 1)-1)&(statsTimeEvery-1) != 0 {
+		m, start, end, err := op.window(p, ts)
+		atomic.AddInt64(&sl.series, int64(len(m)))
+		return m, start, end, err
+	}
+	begin := time.Now()
+	m, start, end, err := op.window(p, ts)
+	atomic.AddInt64(&sl.wallNs, int64(time.Since(begin)))
+	atomic.AddInt64(&sl.timed, 1)
+	atomic.AddInt64(&sl.series, int64(len(m)))
+	return m, start, end, err
+}
+
+// noteSamples attributes stored samples to the scan operator that
+// accounted them.
+func (p *part) noteSamples(sx, n int) {
+	if p.st.opStats != nil {
+		atomic.AddInt64(&p.st.opStats[sx].samples, int64(n))
+	}
 }
 
 func (p *part) account(n int) error {
@@ -520,7 +586,8 @@ func (p *part) rangeFuncParallel(name string, matrix Matrix, start, end, ts int6
 
 // execInstant evaluates one instant through the compiled plan.
 func (e *Engine) execInstant(ctx context.Context, expr Expr, ts time.Time) (Value, error) {
-	cp, err := e.planFor(expr)
+	begin := time.Now()
+	cp, cacheHit, err := e.planFor(expr)
 	if err != nil {
 		return nil, err
 	}
@@ -535,6 +602,9 @@ func (e *Engine) execInstant(ctx context.Context, expr Expr, ts time.Time) (Valu
 	if sp := obs.SpanFrom(ctx); sp.Recording() {
 		sp.SetAttr("promql.samples_loaded", samples)
 		sp.SetAttr("promql.plan", cp.plan.Compact())
+	}
+	if cap, ok := statsCaptureFrom(ctx); ok && err == nil {
+		cap.set(st.buildStats(expr.String(), "instant", begin, int64(samples), 1, cacheHit))
 	}
 	return v, err
 }
@@ -559,7 +629,8 @@ type stepError struct {
 
 // execRange evaluates a range query through the compiled plan.
 func (e *Engine) execRange(ctx context.Context, expr Expr, start, end time.Time, step time.Duration) (Matrix, error) {
-	cp, err := e.planFor(expr)
+	begin := time.Now()
+	cp, cacheHit, err := e.planFor(expr)
 	if err != nil {
 		return nil, err
 	}
@@ -625,6 +696,9 @@ func (e *Engine) execRange(ctx context.Context, expr Expr, start, end time.Time,
 	out := make(Matrix, 0, len(order))
 	for _, k := range order {
 		out = append(out, *acc[k])
+	}
+	if cap, ok := statsCaptureFrom(ctx); ok {
+		cap.set(st.buildStats(expr.String(), "range", begin, st.totalSamples.Load(), len(steps), cacheHit))
 	}
 	return out, nil
 }

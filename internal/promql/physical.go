@@ -19,21 +19,33 @@ import (
 	"math"
 	"regexp"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dio/internal/tsdb"
 )
 
-// physOp is one compiled operator.
+// physOp is one compiled operator. statsIdx is the operator's dense slot
+// in the plan's stats skeleton (promoted from the embedded opMeta).
 type physOp interface {
 	exec(p *part, ts int64) (Value, error)
+	statsIdx() int
 }
 
 // windowOp is implemented by operators producing range vectors with
 // their window bounds (matrix scans and subqueries), the input shape
 // range functions need.
 type windowOp interface {
+	physOp
 	window(p *part, ts int64) (Matrix, int64, int64, error)
 }
+
+// opMeta is embedded by every operator: its stats-slot index, assigned at
+// compile time so per-execution collection is a dense array update with
+// no lookups or allocation.
+type opMeta struct{ sx int }
+
+func (m *opMeta) statsIdx() int { return m.sx }
 
 // compiledPlan is an executable physical plan plus its logical source
 // (kept for Explain and for the scan table the executor prefetches).
@@ -47,11 +59,16 @@ type compiledPlan struct {
 	// per-shard prefetch and its order-preservation guard. Empty when the
 	// plan has no distribute nodes.
 	distScans []int
+	// stats is the per-operator skeleton EXPLAIN ANALYZE collects into:
+	// one node per operator, labelled with the logical node's describe()
+	// so the analyzed tree matches the plain Explain tree.
+	stats []statsNode
 }
 
 type compiler struct {
 	cursors   int
 	distScans []int
+	stats     []statsNode
 }
 
 // compilePlan lowers plan to physical operators.
@@ -61,10 +78,81 @@ func compilePlan(plan *Plan) (*compiledPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &compiledPlan{plan: plan, root: root, nCursors: c.cursors, distScans: c.distScans}, nil
+	return &compiledPlan{plan: plan, root: root, nCursors: c.cursors, distScans: c.distScans, stats: c.stats}, nil
 }
 
+// compile lowers one logical node and registers the operator's stats
+// slot. Children lower first (inside lower's recursion), so their slot
+// indexes are known when the parent's skeleton node links to them.
 func (c *compiler) compile(n logNode) (physOp, error) {
+	op, err := c.lower(n)
+	if err != nil {
+		return nil, err
+	}
+	sn := statsNode{label: n.describe(), dist: -1}
+	for _, k := range opKids(op) {
+		sn.kids = append(sn.kids, k.statsIdx())
+	}
+	if d, ok := op.(*pDistAgg); ok {
+		sn.dist, sn.shards = d.distID, d.shards
+	}
+	c.setStatsIdx(op, len(c.stats))
+	c.stats = append(c.stats, sn)
+	return op, nil
+}
+
+// setStatsIdx writes the assigned slot into the operator's embedded meta.
+func (c *compiler) setStatsIdx(op physOp, idx int) {
+	type setter interface{ setIdx(int) }
+	op.(setter).setIdx(idx)
+}
+
+func (m *opMeta) setIdx(i int) { m.sx = i }
+
+// opKids enumerates an operator's children in plan order — the stats
+// skeleton's edge list.
+func opKids(op physOp) []physOp {
+	switch o := op.(type) {
+	case *pNeg:
+		return []physOp{o.child}
+	case *pSubquery:
+		return []physOp{o.child}
+	case *pRangeFunc:
+		if o.scalarArg != nil {
+			return []physOp{o.arg, o.scalarArg}
+		}
+		return []physOp{o.arg}
+	case *pVectorMath:
+		out := make([]physOp, 0, 1+len(o.scalars))
+		out = append(out, o.vec)
+		return append(out, o.scalars...)
+	case *pVectorFn:
+		return []physOp{o.arg}
+	case *pScalarFn:
+		return []physOp{o.arg}
+	case *pAbsent:
+		return []physOp{o.arg}
+	case *pHistogram:
+		return []physOp{o.phi, o.vec}
+	case *pLabelReplace:
+		return []physOp{o.vec}
+	case *pAgg:
+		if o.param != nil {
+			return []physOp{o.child, o.param}
+		}
+		return []physOp{o.child}
+	case *pDistAgg:
+		if o.param != nil {
+			return []physOp{o.child, o.param}
+		}
+		return []physOp{o.child}
+	case *pBinary:
+		return []physOp{o.lhs, o.rhs}
+	}
+	return nil
+}
+
+func (c *compiler) lower(n logNode) (physOp, error) {
 	switch x := n.(type) {
 	case *lConst:
 		return &pConst{v: x.val}, nil
@@ -273,15 +361,24 @@ func subtreeHasScan(n logNode) bool {
 
 // --- operators -----------------------------------------------------------
 
-type pConst struct{ v float64 }
+type pConst struct {
+	opMeta
+	v float64
+}
 
 func (o *pConst) exec(p *part, ts int64) (Value, error) { return Scalar{T: ts, V: o.v}, nil }
 
-type pString struct{ s string }
+type pString struct {
+	opMeta
+	s string
+}
 
 func (o *pString) exec(p *part, ts int64) (Value, error) { return String{T: ts, V: o.s}, nil }
 
-type pNeg struct{ child physOp }
+type pNeg struct {
+	opMeta
+	child physOp
+}
 
 func (o *pNeg) exec(p *part, ts int64) (Value, error) {
 	v, err := p.eval(o.child, ts)
@@ -303,6 +400,7 @@ func (o *pNeg) exec(p *part, ts int64) (Value, error) {
 
 // pScan is an instant-vector selector read over prefetched series.
 type pScan struct {
+	opMeta
 	scanIdx int
 	cur     int
 	offMs   int64
@@ -310,6 +408,7 @@ type pScan struct {
 
 func (o *pScan) exec(p *part, ts int64) (Value, error) {
 	out := p.instant(o.scanIdx, o.cur, ts-o.offMs, ts)
+	p.noteSamples(o.sx, len(out))
 	if err := p.account(len(out)); err != nil {
 		return nil, err
 	}
@@ -318,6 +417,7 @@ func (o *pScan) exec(p *part, ts int64) (Value, error) {
 
 // pMatrix is a range-vector window read over prefetched series.
 type pMatrix struct {
+	opMeta
 	scanIdx int
 	cur     int
 	offMs   int64
@@ -328,6 +428,7 @@ func (o *pMatrix) window(p *part, ts int64) (Matrix, int64, int64, error) {
 	end := ts - o.offMs
 	start := end - o.rngMs
 	out, total := p.windows(o.scanIdx, o.cur, start, end)
+	p.noteSamples(o.sx, total)
 	if err := p.account(total); err != nil {
 		return nil, 0, 0, err
 	}
@@ -343,6 +444,7 @@ func (o *pMatrix) exec(p *part, ts int64) (Value, error) {
 // (start, end], accumulating a matrix in first-seen series order (the
 // same order the legacy evaluator produces).
 type pSubquery struct {
+	opMeta
 	child  physOp
 	offMs  int64
 	rngMs  int64
@@ -402,13 +504,14 @@ func (o *pSubquery) exec(p *part, ts int64) (Value, error) {
 // pRangeFunc applies a range-vector function (rate, increase,
 // *_over_time, …) to its window input.
 type pRangeFunc struct {
+	opMeta
 	name      string
 	arg       windowOp
 	scalarArg physOp // nil when the function takes none
 }
 
 func (o *pRangeFunc) exec(p *part, ts int64) (Value, error) {
-	matrix, start, end, err := o.arg.window(p, ts)
+	matrix, start, end, err := p.window(o.arg, ts)
 	if err != nil {
 		return nil, err
 	}
@@ -427,6 +530,7 @@ func (o *pRangeFunc) exec(p *part, ts int64) (Value, error) {
 
 // pVectorMath applies a simple vector→vector math function.
 type pVectorMath struct {
+	opMeta
 	name    string
 	vec     physOp
 	scalars []physOp
@@ -448,13 +552,16 @@ func (o *pVectorMath) exec(p *part, ts int64) (Value, error) {
 	return applyVectorMath(o.name, vec, scalars), nil
 }
 
-type pTime struct{}
+type pTime struct{ opMeta }
 
 func (o *pTime) exec(p *part, ts int64) (Value, error) {
 	return Scalar{T: ts, V: float64(ts) / 1000}, nil
 }
 
-type pVectorFn struct{ arg physOp }
+type pVectorFn struct {
+	opMeta
+	arg physOp
+}
 
 func (o *pVectorFn) exec(p *part, ts int64) (Value, error) {
 	s, err := p.scalar(o.arg, ts)
@@ -464,7 +571,10 @@ func (o *pVectorFn) exec(p *part, ts int64) (Value, error) {
 	return Vector{{Labels: nil, T: ts, V: s}}, nil
 }
 
-type pScalarFn struct{ arg physOp }
+type pScalarFn struct {
+	opMeta
+	arg physOp
+}
 
 func (o *pScalarFn) exec(p *part, ts int64) (Value, error) {
 	v, err := p.vector(o.arg, ts)
@@ -477,7 +587,10 @@ func (o *pScalarFn) exec(p *part, ts int64) (Value, error) {
 	return Scalar{T: ts, V: v[0].V}, nil
 }
 
-type pAbsent struct{ arg physOp }
+type pAbsent struct {
+	opMeta
+	arg physOp
+}
 
 func (o *pAbsent) exec(p *part, ts int64) (Value, error) {
 	v, err := p.vector(o.arg, ts)
@@ -490,7 +603,10 @@ func (o *pAbsent) exec(p *part, ts int64) (Value, error) {
 	return Vector{{Labels: nil, T: ts, V: 1}}, nil
 }
 
-type pHistogram struct{ phi, vec physOp }
+type pHistogram struct {
+	opMeta
+	phi, vec physOp
+}
 
 func (o *pHistogram) exec(p *part, ts int64) (Value, error) {
 	phi, err := p.scalar(o.phi, ts)
@@ -505,6 +621,7 @@ func (o *pHistogram) exec(p *part, ts int64) (Value, error) {
 }
 
 type pLabelReplace struct {
+	opMeta
 	vec            physOp
 	dst, repl, src string
 	re             *regexp.Regexp
@@ -524,6 +641,7 @@ func (o *pLabelReplace) exec(p *part, ts int64) (Value, error) {
 
 // pAgg groups and folds its input vector.
 type pAgg struct {
+	opMeta
 	ast      *AggregateExpr
 	child    physOp
 	param    physOp // nil for string or absent parameters
@@ -549,6 +667,7 @@ func (o *pAgg) exec(p *part, ts int64) (Value, error) {
 // the execution mode allows it (single-step, stateless scans), the
 // right side evaluates on a worker goroutine concurrently with the left.
 type pBinary struct {
+	opMeta
 	ast      *BinaryExpr
 	lhs, rhs physOp
 	parOK    bool
@@ -593,6 +712,7 @@ func (o *pBinary) exec(p *part, ts int64) (Value, error) {
 // over the merged view, so the distributed path can only ever change
 // performance, never bytes.
 type pDistAgg struct {
+	opMeta
 	ast      *AggregateExpr
 	child    physOp
 	param    physOp // nil for string or absent parameters
@@ -633,6 +753,17 @@ func (o *pDistAgg) childVector(p *part, ts int64) (Vector, error) {
 	parts := p.shardParts(o.shards)
 	vecs := make([]Vector, o.shards)
 	errs := make([]error, o.shards)
+	// shardVec records each shard's fan-out wall time into the stats slab
+	// (EXPLAIN ANALYZE's per-shard latencies) when collection is on.
+	shardVec := func(i int) (Vector, error) {
+		if st.shardWallNs == nil {
+			return parts[i].vector(o.child, ts)
+		}
+		begin := time.Now()
+		v, err := parts[i].vector(o.child, ts)
+		atomic.AddInt64(&st.shardWallNs[o.distID*o.shards+i], int64(time.Since(begin)))
+		return v, err
+	}
 	var wg sync.WaitGroup
 	for i := 1; i < o.shards; i++ {
 		if st.acquireWorker() {
@@ -640,13 +771,13 @@ func (o *pDistAgg) childVector(p *part, ts int64) (Vector, error) {
 			go func(i int) {
 				defer wg.Done()
 				defer st.releaseWorker()
-				vecs[i], errs[i] = parts[i].vector(o.child, ts)
+				vecs[i], errs[i] = shardVec(i)
 			}(i)
 		} else {
-			vecs[i], errs[i] = parts[i].vector(o.child, ts)
+			vecs[i], errs[i] = shardVec(i)
 		}
 	}
-	vecs[0], errs[0] = parts[0].vector(o.child, ts)
+	vecs[0], errs[0] = shardVec(0)
 	wg.Wait()
 	if p.cursors != nil {
 		// Drain the shared shard budget back into the sequential counter.

@@ -164,16 +164,19 @@ func TestPlanCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp1, err := eng.planFor(e1)
+	cp1, hit1, err := eng.planFor(e1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp2, err := eng.planFor(e2)
+	cp2, hit2, err := eng.planFor(e2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cp1 != cp2 {
 		t.Error("planFor did not reuse the cached compiled plan")
+	}
+	if hit1 || !hit2 {
+		t.Errorf("plan-cache hit flags = %v, %v; want false, true", hit1, hit2)
 	}
 }
 

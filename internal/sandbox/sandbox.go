@@ -63,6 +63,10 @@ type Executor struct {
 	failed   atomic.Int64
 	audit    *AuditLog
 	metrics  *executorMetrics
+	// hooks accumulates the engine hooks installed so far: Instrument and
+	// ObserveQueries each contribute their slice and reapply the merged
+	// set, so the two can be wired in either order.
+	hooks promql.Hooks
 }
 
 // executorMetrics holds the obs instruments attached by Instrument.
@@ -115,18 +119,35 @@ func (e *Executor) Instrument(reg *obs.Registry) {
 		"Aggregations evaluated as per-shard partials and merged centrally.", "")
 	fallbacks := reg.Counter("dio_shard_fallbacks_total",
 		"Distributed aggregations demoted to gather-then-evaluate by a runtime order guard.", "")
-	e.engine.SetHooks(promql.Hooks{
-		QueueWait: func(d time.Duration) { queueWait.Observe(d.Seconds()) },
-		OnSamples: func(n int) { samples.Observe(float64(n)) },
-		OnFanout:  func(d time.Duration) { fanout.Observe(d.Seconds()) },
-		OnRangeEval: func(s promql.RangeStats) {
-			selHits.Add(float64(s.SelectorHits))
-			selMisses.Add(float64(s.SelectorMisses))
-			resets.Add(float64(s.CursorResets))
-			partials.Add(float64(s.DistPartials))
-			fallbacks.Add(float64(s.DistFallbacks))
-		},
-	})
+	e.hooks.QueueWait = func(d time.Duration) { queueWait.Observe(d.Seconds()) }
+	e.hooks.OnSamples = func(n int) { samples.Observe(float64(n)) }
+	e.hooks.OnFanout = func(d time.Duration) { fanout.Observe(d.Seconds()) }
+	e.hooks.OnRangeEval = func(s promql.RangeStats) {
+		selHits.Add(float64(s.SelectorHits))
+		selMisses.Add(float64(s.SelectorMisses))
+		resets.Add(float64(s.CursorResets))
+		partials.Add(float64(s.DistPartials))
+		fallbacks.Add(float64(s.DistFallbacks))
+	}
+	e.engine.SetHooks(e.hooks)
+}
+
+// ObserveQueries wires the query-level observability hooks: every query
+// through this executor's engine — sandboxed asks, dashboard panels,
+// direct API queries — registers with the active-query tracker while it
+// runs and lands in the slow-query log when it finishes. Either argument
+// may be nil. Call alongside Instrument, before serving.
+func (e *Executor) ObserveQueries(qlog *obs.QueryLog, tracker *obs.ActiveQueryTracker) {
+	if tracker != nil {
+		e.hooks.OnQueryStart = func(query, kind, traceID string) func() {
+			slot := tracker.Insert(query, kind, traceID)
+			return func() { tracker.Done(slot) }
+		}
+	}
+	if qlog != nil {
+		e.hooks.OnQueryDone = qlog.Observe
+	}
+	e.engine.SetHooks(e.hooks)
 }
 
 // observe records one run on the attached instruments (no-op when the

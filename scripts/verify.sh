@@ -23,6 +23,8 @@ if [ "${VERIFY_BENCH:-0}" = "1" ]; then
 	make bench
 	echo ">> dio-bench engine gate (VERIFY_BENCH=1)"
 	go run ./cmd/dio-bench -experiment engine -short
+	echo ">> dio-bench querystats gate (VERIFY_BENCH=1)"
+	go run ./cmd/dio-bench -experiment querystats -short
 	echo ">> dio-bench ingest gate (VERIFY_BENCH=1)"
 	go run ./cmd/dio-bench -experiment ingest -short
 	echo ">> dio-bench shard scaling curve (VERIFY_BENCH=1)"
