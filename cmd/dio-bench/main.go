@@ -23,6 +23,10 @@
 //	dio-bench -experiment shard     sharded TSDB scaling curve: the
 //	                                shardable query mix plus streaming
 //	                                writers at 1/2/4/8 shards
+//	dio-bench -experiment batch     streaming vectorized execution: pooled
+//	                                batched step vectors vs per-step
+//	                                materialization (allocs/op), and peak
+//	                                intermediate bytes on multi-day ranges
 //	dio-bench -experiment all       everything above
 package main
 
@@ -66,7 +70,7 @@ func fatal(msg string, err error) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, engine, trace, querystats, throughput, ingest, shard, all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, engine, trace, querystats, throughput, ingest, shard, batch, all")
 	size := flag.Int("questions", benchmark.DefaultSize, "benchmark size")
 	seed := flag.Int64("seed", 7, "benchmark generation seed")
 	verbose := flag.Bool("v", false, "print per-task breakdowns")
@@ -106,6 +110,7 @@ func main() {
 	run("throughput", (*env1).throughput)
 	run("ingest", (*env1).ingest)
 	run("shard", (*env1).shard)
+	run("batch", (*env1).batch)
 }
 
 // env1 carries the shared experiment environment: the catalog, the

@@ -51,6 +51,19 @@ type EngineOptions struct {
 	// is on by default: it is allocation-free on the hot path and gated
 	// at <= 5% overhead by dio-bench -experiment querystats.
 	DisableQueryStats bool
+	// BatchSize bounds how many steps of a range query the plan executor
+	// evaluates between arena resets: intermediate containers live for at
+	// most one batch, so peak intermediate memory scales with BatchSize ×
+	// series count instead of range length × series count. Zero picks the
+	// default (64); negative evaluates each partition's whole span as one
+	// batch — the materialized-memory shape, kept for benchmarking.
+	BatchSize int
+	// DisablePooling turns the batch arena allocator off entirely: every
+	// intermediate container is heap-allocated exactly as the pre-batching
+	// executor did. The DIO_PROMQL_NOPOOL env (read by NewEngine) forces
+	// it for a whole test run — the CI leg that proves results never
+	// depend on recycling.
+	DisablePooling bool
 }
 
 // DefaultEngineOptions mirrors Prometheus defaults. Setting
@@ -118,6 +131,11 @@ type RangeStats struct {
 	// Both stay zero on unsharded storage.
 	DistPartials  int
 	DistFallbacks int
+	// PeakIntermediateBytes is the high-water mark of pooled intermediate
+	// memory across all partitions of the query — the figure the batched
+	// executor bounds by BatchSize. Zero on the legacy paths and when
+	// pooling is disabled.
+	PeakIntermediateBytes int64
 }
 
 // Engine evaluates parsed expressions against a tsdb.Storage — a single
@@ -153,6 +171,14 @@ func NewEngine(db tsdb.Storage, opts EngineOptions) *Engine {
 		if opts.ExecWorkers > 16 {
 			opts.ExecWorkers = 16
 		}
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = defaultBatchSize
+	}
+	// Read here, not in DefaultEngineOptions, so explicitly-constructed
+	// options (the test fixtures) honour the CI matrix leg too.
+	if os.Getenv("DIO_PROMQL_NOPOOL") != "" {
+		opts.DisablePooling = true
 	}
 	e := &Engine{db: db, opts: opts, plans: make(map[string]*compiledPlan)}
 	if sh, ok := db.(*tsdb.ShardedDB); ok && sh.NumShards() > 1 {
@@ -425,11 +451,18 @@ func (e *Engine) evalInstant(ctx context.Context, expr Expr, ts time.Time) (Valu
 // selector for the whole range: every step after the first advances
 // per-series cursors over the fetched samples instead of re-running
 // Select/SelectRange (disable with EngineOptions.StepwiseRange).
-func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.Time, step time.Duration) (m Matrix, err error) {
+func (e *Engine) QueryRange(ctx context.Context, input string, start, end time.Time, step time.Duration) (Matrix, error) {
 	expr, err := Parse(input)
 	if err != nil {
 		return nil, err
 	}
+	return e.QueryRangeExpr(ctx, expr, start, end, step)
+}
+
+// QueryRangeExpr is QueryRange for an already parsed expression — callers
+// that repeat one query over many windows (dashboards, benchmarks) skip
+// the per-evaluation parse.
+func (e *Engine) QueryRangeExpr(ctx context.Context, expr Expr, start, end time.Time, step time.Duration) (m Matrix, err error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("promql: non-positive step %v", step)
 	}
@@ -711,7 +744,7 @@ func (ev *evaluator) evalRangeFunc(n *Call, arg Expr) (Value, error) {
 			break
 		}
 	}
-	return applyRangeFunc(n.Func.Name, matrix, start, end, ev.ts, scalarParam)
+	return applyRangeFunc(nil, n.Func.Name, matrix, start, end, ev.ts, scalarParam)
 }
 
 func (ev *evaluator) evalVectorMath(n *Call) (Value, error) {
@@ -727,7 +760,7 @@ func (ev *evaluator) evalVectorMath(n *Call) (Value, error) {
 		}
 		scalars = append(scalars, s)
 	}
-	return applyVectorMath(n.Func.Name, vec, scalars), nil
+	return applyVectorMath(nil, n.Func.Name, vec, scalars), nil
 }
 
 // evalHistogramQuantile implements classic histogram quantiles over
@@ -741,7 +774,7 @@ func (ev *evaluator) evalHistogramQuantile(n *Call) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	return histogramQuantileVector(phi, vec, ev.ts), nil
+	return histogramQuantileVector(nil, phi, vec, ev.ts), nil
 }
 
 func parseLE(s string) (float64, error) {
@@ -812,7 +845,7 @@ func (ev *evaluator) evalLabelReplace(n *Call) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	return labelReplaceVector(vec, re, dst, repl, src), nil
+	return labelReplaceVector(nil, vec, re, dst, repl, src), nil
 }
 
 // evalScalar evaluates an expression that must yield a scalar.
@@ -862,7 +895,7 @@ func (ev *evaluator) evalAggregate(n *AggregateExpr) (Value, error) {
 		}
 	}
 
-	return aggregateVector(n, vec, param, strParam, ev.ts)
+	return aggregateVector(nil, n, vec, param, strParam, ev.ts)
 }
 
 // --- binary operators ----------------------------------------------------
@@ -876,7 +909,7 @@ func (ev *evaluator) evalBinary(n *BinaryExpr) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	return applyBinary(n, lv, rv, ev.ts)
+	return applyBinary(nil, n, lv, rv, ev.ts)
 }
 
 // binArith applies op to two floats. keep reports whether a comparison
@@ -922,8 +955,8 @@ func binArith(op BinOp, l, r float64, returnBool bool) (float64, bool) {
 
 // vectorScalarOp applies op between each vector sample and a scalar.
 // swapped indicates the scalar was the left operand.
-func vectorScalarOp(n *BinaryExpr, vec Vector, scalar float64, swapped bool, ts int64) Vector {
-	out := make(Vector, 0, len(vec))
+func vectorScalarOp(al *alloc, n *BinaryExpr, vec Vector, scalar float64, swapped bool, ts int64) Vector {
+	out := al.vec(len(vec))
 	for _, s := range vec {
 		l, r := s.V, scalar
 		if swapped {
@@ -936,7 +969,7 @@ func vectorScalarOp(n *BinaryExpr, vec Vector, scalar float64, swapped bool, ts 
 			}
 			v = s.V
 		}
-		out = append(out, VSample{Labels: dropName(s.Labels), T: ts, V: v})
+		out = append(out, VSample{Labels: al.dropName(s.Labels), T: ts, V: v})
 	}
 	return out
 }
@@ -956,7 +989,7 @@ func matchKey(ls tsdb.Labels, m *VectorMatching) string {
 
 // evalVectorVector performs vector matching: one-to-one by default,
 // many-to-one with group_left, one-to-many with group_right.
-func evalVectorVector(n *BinaryExpr, l, r Vector, ts int64) (Value, error) {
+func evalVectorVector(al *alloc, n *BinaryExpr, l, r Vector, ts int64) (Value, error) {
 	card := CardOneToOne
 	if n.Matching != nil {
 		card = n.Matching.Card
@@ -981,7 +1014,7 @@ func evalVectorVector(n *BinaryExpr, l, r Vector, ts int64) (Value, error) {
 		rightBy[key] = s
 	}
 	seenLeft := make(map[string]bool, len(l))
-	out := make(Vector, 0, len(l))
+	out := al.vec(len(l))
 	for _, s := range l {
 		key := matchKey(s.Labels, n.Matching)
 		rs, ok := rightBy[key]
@@ -1005,7 +1038,7 @@ func evalVectorVector(n *BinaryExpr, l, r Vector, ts int64) (Value, error) {
 			}
 			v = lv
 		}
-		ls := dropName(s.Labels)
+		ls := al.dropName(s.Labels)
 		if n.Matching != nil && n.Matching.On && card == CardOneToOne {
 			ls = ls.Keep(n.Matching.MatchingLabels...)
 		}
@@ -1019,12 +1052,12 @@ func evalVectorVector(n *BinaryExpr, l, r Vector, ts int64) (Value, error) {
 		}
 		out = append(out, VSample{Labels: ls, T: ts, V: v})
 	}
-	out.Sort()
+	al.sortVec(out)
 	return out, nil
 }
 
 // evalSetOp implements and / or / unless.
-func evalSetOp(n *BinaryExpr, l, r Vector) Vector {
+func evalSetOp(al *alloc, n *BinaryExpr, l, r Vector) Vector {
 	keyOf := func(ls tsdb.Labels) string { return matchKey(ls, n.Matching) }
 	switch n.Op {
 	case OpAnd:
@@ -1032,7 +1065,7 @@ func evalSetOp(n *BinaryExpr, l, r Vector) Vector {
 		for _, s := range r {
 			rset[keyOf(s.Labels)] = true
 		}
-		out := make(Vector, 0, len(l))
+		out := al.vec(len(l))
 		for _, s := range l {
 			if rset[keyOf(s.Labels)] {
 				out = append(out, s)
@@ -1044,7 +1077,7 @@ func evalSetOp(n *BinaryExpr, l, r Vector) Vector {
 		for _, s := range r {
 			rset[keyOf(s.Labels)] = true
 		}
-		out := make(Vector, 0, len(l))
+		out := al.vec(len(l))
 		for _, s := range l {
 			if !rset[keyOf(s.Labels)] {
 				out = append(out, s)
@@ -1053,7 +1086,7 @@ func evalSetOp(n *BinaryExpr, l, r Vector) Vector {
 		return out
 	case OpOr:
 		lset := make(map[string]bool, len(l))
-		out := append(Vector(nil), l...)
+		out := append(al.vec(len(l)+len(r)), l...)
 		for _, s := range l {
 			lset[s.Labels.Key()] = true
 		}
@@ -1062,7 +1095,7 @@ func evalSetOp(n *BinaryExpr, l, r Vector) Vector {
 				out = append(out, s)
 			}
 		}
-		out.Sort()
+		al.sortVec(out)
 		return out
 	}
 	return nil

@@ -7,11 +7,16 @@ package promql
 //   - Range queries split their steps into contiguous partitions, one
 //     goroutine each, every partition owning private scan cursors that
 //     advance monotonically through its steps (the select-once cursor
-//     discipline from selcache.go, parallelised). Results land in a
-//     slice indexed by global step, so assembly order — and therefore the
-//     rendered output — is byte-identical to sequential evaluation
-//     regardless of which partition finishes first (the deterministic
-//     in-order merge rule).
+//     discipline from selcache.go, parallelised). Each partition streams
+//     its steps in bounded batches (EngineOptions.BatchSize): step
+//     vectors fold into a per-partition accumulator as they are produced,
+//     and the arena holding the batch's intermediates (pool.go) resets at
+//     every batch boundary — peak memory is bounded by batch size ×
+//     series count, not range length × series count. Partition
+//     accumulators merge in ascending partition order; because partitions
+//     are contiguous and the final series order is re-sorted by key, the
+//     rendered output is byte-identical to sequential evaluation
+//     regardless of which partition finishes first.
 //   - Instant queries run a single stateless part (binary-search scans,
 //     no shared cursor state), which additionally unlocks branch-parallel
 //     binary operands and per-series-parallel range functions: both are
@@ -87,6 +92,14 @@ type execState struct {
 
 	workers int
 	sem     chan struct{} // bounds extra goroutines beyond the caller's
+
+	// pooling enables the per-partition arena allocators; batch is the
+	// step count between arena resets (<= 0: a partition's whole span).
+	pooling bool
+	batch   int
+	// peakIntermediate collects the max pooled-intermediate high-water
+	// mark across the execution's allocs (RangeStats.PeakIntermediateBytes).
+	peakIntermediate atomic.Int64
 }
 
 // newExecState prefetches every scan of the plan for an evaluation range
@@ -99,6 +112,8 @@ func (e *Engine) newExecState(cp *compiledPlan, startMs, endMs int64) *execState
 		lookbackMs: e.opts.LookbackDelta.Milliseconds(),
 		services:   make([]int64, len(cp.plan.scans)),
 		workers:    e.opts.ExecWorkers,
+		pooling:    !e.opts.DisablePooling,
+		batch:      e.opts.BatchSize,
 	}
 	hints := cp.plan.selectHints(startMs, endMs)
 	if e.sharded != nil {
@@ -181,11 +196,23 @@ func (st *execState) stats() RangeStats {
 		hits = 0
 	}
 	return RangeStats{
-		SelectorHits:   hits,
-		SelectorMisses: misses,
-		CursorResets:   int(st.resets.Load()),
-		DistPartials:   int(st.distPartials.Load()),
-		DistFallbacks:  int(st.distFallbacks.Load()),
+		SelectorHits:          hits,
+		SelectorMisses:        misses,
+		CursorResets:          int(st.resets.Load()),
+		DistPartials:          int(st.distPartials.Load()),
+		DistFallbacks:         int(st.distFallbacks.Load()),
+		PeakIntermediateBytes: st.peakIntermediate.Load(),
+	}
+}
+
+// notePeakIntermediate folds one alloc's high-water mark into the
+// execution-wide max (CAS loop: allocs release from partition goroutines).
+func (st *execState) notePeakIntermediate(b int64) {
+	for {
+		cur := st.peakIntermediate.Load()
+		if b <= cur || st.peakIntermediate.CompareAndSwap(cur, b) {
+			return
+		}
 	}
 }
 
@@ -225,10 +252,43 @@ type part struct {
 	// MaxSamples trips at the same totals as unsharded evaluation.
 	distParts []*part
 	distAcc   *atomic.Int64
+	// al, when non-nil, is this part's batch arena (pool.go): every
+	// intermediate container the part's operators produce comes from it
+	// and is recycled at the next batch boundary. Nil on instant parts
+	// and when pooling is disabled — all methods degrade to plain heap
+	// allocation.
+	al *alloc
 }
 
 func (st *execState) newCursorPart(ctx context.Context) *part {
-	return &part{st: st, ctx: ctx, shard: -1, cursors: make([]useCursor, st.cp.nCursors)}
+	p := &part{st: st, ctx: ctx, shard: -1, cursors: make([]useCursor, st.cp.nCursors)}
+	if st.pooling {
+		p.al = getAlloc(st.keys)
+	}
+	return p
+}
+
+// resetArena recycles everything this part (and its per-shard children)
+// allocated during the finished batch. Called only at batch boundaries,
+// after the batch's step vectors have been folded into the partition
+// accumulator and no distribute fan-out is in flight.
+func (p *part) resetArena() {
+	p.al.reset()
+	for _, dp := range p.distParts {
+		dp.al.reset()
+	}
+}
+
+// releaseAllocs returns the partition's arenas to the global pool when
+// its span is done (shard children first — their goroutines joined at the
+// end of the last distribute evaluation).
+func (p *part) releaseAllocs() {
+	for _, dp := range p.distParts {
+		dp.al.release(p.st)
+		dp.al = nil
+	}
+	p.al.release(p.st)
+	p.al = nil
 }
 
 func (st *execState) newInstantPart(ctx context.Context) *part {
@@ -255,7 +315,14 @@ func (p *part) shardParts(n int) []*part {
 		p.distAcc = new(atomic.Int64)
 		p.distParts = make([]*part, n)
 		for i := range p.distParts {
-			p.distParts[i] = &part{st: p.st, ctx: p.ctx, shard: i, asamples: p.distAcc, cursors: make([]useCursor, p.st.cp.nCursors)}
+			dp := &part{st: p.st, ctx: p.ctx, shard: i, asamples: p.distAcc, cursors: make([]useCursor, p.st.cp.nCursors)}
+			if p.al != nil {
+				// Each shard child runs on its own goroutine, so it gets
+				// its own arena; the parent resets and releases them in
+				// lockstep with its own.
+				dp.al = getAlloc(p.st.keys)
+			}
+			p.distParts[i] = dp
 		}
 	}
 	p.distAcc.Store(int64(p.samples))
@@ -297,7 +364,7 @@ func (p *part) mergeShardVectors(vecs []Vector) (Vector, bool) {
 	}
 	keys := make([][]string, len(vecs))
 	for i, v := range vecs {
-		ks := make([]string, len(v))
+		ks := p.al.strs(len(v))[:len(v)]
 		for j, s := range v {
 			ks[j] = p.keyOf(s.Labels)
 			if j > 0 && ks[j-1] >= ks[j] {
@@ -306,7 +373,7 @@ func (p *part) mergeShardVectors(vecs []Vector) (Vector, bool) {
 		}
 		keys[i] = ks
 	}
-	out := make(Vector, 0, total)
+	out := p.al.vec(total)
 	heads := make([]int, len(vecs))
 	for len(out) < total {
 		best := -1
@@ -356,6 +423,31 @@ func (p *part) eval(op physOp, ts int64) (Value, error) {
 	atomic.AddInt64(&sl.wallNs, int64(time.Since(begin)))
 	atomic.AddInt64(&sl.timed, 1)
 	sl.noteValue(v)
+	return v, err
+}
+
+// evalVec is eval for operators that statically produce vectors (the
+// vecExecer fast path): identical cancellation and stats behaviour, but
+// the value never crosses an interface boundary — on the step-batched hot
+// path that interface box was one heap allocation per operator per step.
+func (p *part) evalVec(op vecExecer, ts int64) (Vector, error) {
+	if err := p.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.st.opStats == nil {
+		return op.execVec(p, ts)
+	}
+	sl := &p.st.opStats[op.statsIdx()]
+	if (atomic.AddInt64(&sl.calls, 1)-1)&(statsTimeEvery-1) != 0 {
+		v, err := op.execVec(p, ts)
+		atomic.AddInt64(&sl.series, int64(len(v)))
+		return v, err
+	}
+	begin := time.Now()
+	v, err := op.execVec(p, ts)
+	atomic.AddInt64(&sl.wallNs, int64(time.Since(begin)))
+	atomic.AddInt64(&sl.timed, 1)
+	atomic.AddInt64(&sl.series, int64(len(v)))
 	return v, err
 }
 
@@ -419,8 +511,12 @@ func (p *part) scalar(op physOp, ts int64) (float64, error) {
 	return s.V, nil
 }
 
-// vector evaluates an operator that must yield an instant vector.
+// vector evaluates an operator that must yield an instant vector,
+// preferring the unboxed vecExecer path when the operator provides it.
 func (p *part) vector(op physOp, ts int64) (Vector, error) {
+	if ve, ok := op.(vecExecer); ok {
+		return p.evalVec(ve, ts)
+	}
 	v, err := p.eval(op, ts)
 	if err != nil {
 		return nil, err
@@ -433,8 +529,12 @@ func (p *part) vector(op physOp, ts int64) (Vector, error) {
 }
 
 // keyOf mirrors selCache.keyOf: stored series labels resolve to their
-// cached fingerprint, fresh label sets compute their key.
+// cached fingerprint, fresh label sets compute their key. Parts with an
+// arena also hit its derived-label key cache (same strings, no rebuild).
 func (p *part) keyOf(ls tsdb.Labels) string {
+	if p.al != nil {
+		return p.al.keyFor(ls)
+	}
 	if len(ls) == 0 {
 		return ls.Key()
 	}
@@ -452,7 +552,7 @@ func (p *part) instant(scanIdx, cur int, ts, outT int64) Vector {
 	series := p.seriesFor(scanIdx)
 	atomic.AddInt64(&p.st.services[scanIdx], 1)
 	lookback := p.st.lookbackMs
-	out := make(Vector, 0, len(series))
+	out := p.al.vec(len(series))
 	if p.cursors != nil {
 		cu := &p.cursors[cur]
 		if cu.inst == nil {
@@ -495,7 +595,7 @@ func (p *part) instant(scanIdx, cur int, ts, outT int64) Vector {
 func (p *part) windows(scanIdx, cur int, start, end int64) (Matrix, int) {
 	series := p.seriesFor(scanIdx)
 	atomic.AddInt64(&p.st.services[scanIdx], 1)
-	out := make(Matrix, 0, len(series))
+	out := p.al.mat(len(series))
 	total := 0
 	if p.cursors != nil {
 		cu := &p.cursors[cur]
@@ -561,7 +661,9 @@ func (p *part) rangeFuncParallel(name string, matrix Matrix, start, end, ts int6
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				v, ok, err := rangeSeriesValue(name, matrix[i].Samples, start, end, ts, scalarParam)
+				// nil alloc: worker goroutines must not share a part's
+				// single-goroutine arena (instant parts carry none anyway).
+				v, ok, err := rangeSeriesValue(nil, name, matrix[i].Samples, start, end, ts, scalarParam)
 				results[i] = res{v: v, ok: ok, err: err}
 			}
 		}(lo, hi)
@@ -654,42 +756,35 @@ func (e *Engine) execRange(ctx context.Context, expr Expr, start, end time.Time,
 		}
 	}()
 
-	results := make([]Value, len(steps))
 	nparts := numPartitions(len(steps), st.workers)
+	accs := make([]*rangeAcc, nparts)
 	if nparts <= 1 {
 		p := st.newCursorPart(ctx)
-		for i, ts := range steps {
-			if err := p.runStep(cp.root, ts, results, i); err != nil {
-				return nil, err
-			}
+		accs[0] = newRangeAcc()
+		se := p.runSpan(cp.root, steps, 0, len(steps), accs[0])
+		p.releaseAllocs()
+		if se.idx >= 0 {
+			return nil, se.err
 		}
-	} else if err := st.runPartitions(ctx, cp.root, steps, results, nparts); err != nil {
+	} else if err := st.runPartitions(ctx, cp.root, steps, accs, nparts); err != nil {
 		return nil, err
 	}
 
-	// Deterministic in-order merge: accumulate step vectors in global
-	// step order, exactly as the sequential legacy loop does.
-	acc := make(map[string]*MSeries)
-	var order []string
-	for i, ts := range steps {
-		var vec Vector
-		switch x := results[i].(type) {
-		case Vector:
-			vec = x
-		case Scalar:
-			vec = Vector{{Labels: nil, T: x.T, V: x.V}}
-		default:
-			return nil, fmt.Errorf("promql: range query requires a vector or scalar expression")
-		}
-		for _, s := range vec {
-			key := st.keyOf(s.Labels)
-			ms, ok := acc[key]
-			if !ok {
-				ms = &MSeries{Labels: s.Labels}
-				acc[key] = ms
+	// Deterministic merge: steps folded into per-partition accumulators in
+	// step order; partitions are contiguous, so concatenating accumulators
+	// in ascending partition order keeps every series' samples
+	// time-ascending, and the final sort.Strings reproduces the exact
+	// series order the sequential legacy loop renders.
+	acc, order := accs[0].acc, accs[0].order
+	for _, pa := range accs[1:] {
+		for _, key := range pa.order {
+			src := pa.acc[key]
+			if ms, ok := acc[key]; ok {
+				ms.Samples = append(ms.Samples, src.Samples...)
+			} else {
+				acc[key] = src
 				order = append(order, key)
 			}
-			ms.Samples = append(ms.Samples, tsdb.Sample{T: ts, V: s.V})
 		}
 	}
 	sort.Strings(order)
@@ -703,6 +798,45 @@ func (e *Engine) execRange(ctx context.Context, expr Expr, start, end time.Time,
 	return out, nil
 }
 
+// rangeAcc is one partition's fold target: step vectors stream into it as
+// they are produced, copying each sample out of the batch arena — the
+// reason batch resets are safe.
+type rangeAcc struct {
+	acc   map[string]*MSeries
+	order []string // first-appearance order; re-sorted at merge
+}
+
+func newRangeAcc() *rangeAcc {
+	return &rangeAcc{acc: make(map[string]*MSeries)}
+}
+
+// foldVec appends one step vector's samples. Labels are adopted by
+// reference — label slices are never pooled, so they outlive the batch.
+func (a *rangeAcc) foldVec(p *part, vec Vector, ts int64) {
+	for _, s := range vec {
+		key := p.keyOf(s.Labels)
+		ms, ok := a.acc[key]
+		if !ok {
+			ms = &MSeries{Labels: s.Labels}
+			a.acc[key] = ms
+			a.order = append(a.order, key)
+		}
+		ms.Samples = append(ms.Samples, tsdb.Sample{T: ts, V: s.V})
+	}
+}
+
+// foldScalar appends a scalar step under the empty key, exactly as the
+// legacy loop's Vector{{Labels: nil, ...}} wrapping did.
+func (a *rangeAcc) foldScalar(v float64, ts int64) {
+	ms, ok := a.acc[""]
+	if !ok {
+		ms = &MSeries{}
+		a.acc[""] = ms
+		a.order = append(a.order, "")
+	}
+	ms.Samples = append(ms.Samples, tsdb.Sample{T: ts, V: v})
+}
+
 // keyOf on the shared state (assembly runs after all partitions joined).
 func (st *execState) keyOf(ls tsdb.Labels) string {
 	if len(ls) == 0 {
@@ -714,11 +848,44 @@ func (st *execState) keyOf(ls tsdb.Labels) string {
 	return ls.Key()
 }
 
-// runStep evaluates one step with a fresh per-step sample budget and
-// stores the value at its global index.
-func (p *part) runStep(root physOp, ts int64, results []Value, idx int) error {
+// runSpan evaluates a contiguous run of steps [lo, hi) in arena batches:
+// every st.batch steps the partition's intermediates are recycled. A
+// non-positive batch evaluates the whole span as one batch (the
+// materialized-memory shape, kept for benchmarking).
+func (p *part) runSpan(root physOp, steps []int64, lo, hi int, acc *rangeAcc) stepError {
+	batch := p.st.batch
+	if batch <= 0 {
+		batch = hi - lo
+	}
+	ve, _ := root.(vecExecer)
+	for b0 := lo; b0 < hi; b0 += batch {
+		b1 := b0 + batch
+		if b1 > hi {
+			b1 = hi
+		}
+		for i := b0; i < b1; i++ {
+			if err := p.runStep(root, ve, steps[i], acc); err != nil {
+				return stepError{idx: i, err: err}
+			}
+		}
+		p.resetArena()
+	}
+	return stepError{idx: -1}
+}
+
+// runStep evaluates one step with a fresh per-step sample budget and folds
+// the result straight into the partition accumulator (no per-range value
+// buffer; vector roots with a vecExecer skip the interface box entirely).
+func (p *part) runStep(root physOp, ve vecExecer, ts int64, acc *rangeAcc) error {
 	p.samples = 0
-	v, err := p.eval(root, ts)
+	var vec Vector
+	var v Value
+	var err error
+	if ve != nil {
+		vec, err = p.evalVec(ve, ts)
+	} else {
+		v, err = p.eval(root, ts)
+	}
 	p.st.totalSamples.Add(int64(p.samples))
 	if hook := p.st.eng.hooks.OnSamples; hook != nil {
 		hook(p.samples)
@@ -726,14 +893,26 @@ func (p *part) runStep(root physOp, ts int64, results []Value, idx int) error {
 	if err != nil {
 		return err
 	}
-	results[idx] = v
+	if ve != nil {
+		acc.foldVec(p, vec, ts)
+		return nil
+	}
+	switch x := v.(type) {
+	case Vector:
+		acc.foldVec(p, x, ts)
+	case Scalar:
+		acc.foldScalar(x.V, ts)
+	default:
+		return fmt.Errorf("promql: range query requires a vector or scalar expression")
+	}
 	return nil
 }
 
-// runPartitions splits steps into contiguous runs, one goroutine each.
-// The first failing partition cancels its siblings; the reported error is
-// the earliest failing step's, preferring non-cancellation causes.
-func (st *execState) runPartitions(ctx context.Context, root physOp, steps []int64, results []Value, nparts int) error {
+// runPartitions splits steps into contiguous runs, one goroutine each,
+// each folding into its own accumulator (accs[w]). The first failing
+// partition cancels its siblings; the reported error is the earliest
+// failing step's, preferring non-cancellation causes.
+func (st *execState) runPartitions(ctx context.Context, root physOp, steps []int64, accs []*rangeAcc, nparts int) error {
 	pctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errs := make([]stepError, nparts)
@@ -747,18 +926,16 @@ func (st *execState) runPartitions(ctx context.Context, root physOp, steps []int
 			size++
 		}
 		hi := lo + size
+		accs[w] = newRangeAcc()
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			p := st.newCursorPart(pctx)
-			errs[w] = stepError{idx: -1}
-			for i := lo; i < hi; i++ {
-				if err := p.runStep(root, steps[i], results, i); err != nil {
-					errs[w] = stepError{idx: i, err: err}
-					cancel()
-					return
-				}
+			errs[w] = p.runSpan(root, steps, lo, hi, accs[w])
+			if errs[w].idx >= 0 {
+				cancel()
 			}
+			p.releaseAllocs()
 		}(w, lo, hi)
 		lo = hi
 	}

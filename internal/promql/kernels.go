@@ -20,7 +20,7 @@ import (
 // window. ok=false drops the series from the output (insufficient
 // points). ts is the evaluation timestamp (predict_linear anchors its
 // regression there).
-func rangeSeriesValue(name string, s []tsdb.Sample, start, end, ts int64, scalarParam float64) (v float64, ok bool, err error) {
+func rangeSeriesValue(al *alloc, name string, s []tsdb.Sample, start, end, ts int64, scalarParam float64) (v float64, ok bool, err error) {
 	ok = true
 	switch name {
 	case "rate":
@@ -84,9 +84,11 @@ func rangeSeriesValue(name string, s []tsdb.Sample, start, end, ts int64, scalar
 	case "stdvar_over_time":
 		v = stdvarOverTime(s)
 	case "quantile_over_time":
-		vals := make([]float64, len(s))
-		for i, x := range s {
-			vals[i] = x.V
+		// quantile sorts in place, so the window must be copied either way;
+		// the copy comes from the arena.
+		vals := al.floats(len(s))
+		for _, x := range s {
+			vals = append(vals, x.V)
 		}
 		v = quantile(scalarParam, vals)
 	case "deriv":
@@ -110,26 +112,26 @@ func rangeSeriesValue(name string, s []tsdb.Sample, start, end, ts int64, scalar
 
 // applyRangeFunc maps a range-vector function over every series of a
 // window matrix, producing the sorted instant vector stamped at ts.
-func applyRangeFunc(name string, matrix Matrix, start, end, ts int64, scalarParam float64) (Vector, error) {
-	out := make(Vector, 0, len(matrix))
+func applyRangeFunc(al *alloc, name string, matrix Matrix, start, end, ts int64, scalarParam float64) (Vector, error) {
+	out := al.vec(len(matrix))
 	for _, series := range matrix {
-		v, ok, err := rangeSeriesValue(name, series.Samples, start, end, ts, scalarParam)
+		v, ok, err := rangeSeriesValue(al, name, series.Samples, start, end, ts, scalarParam)
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
 			continue
 		}
-		out = append(out, VSample{Labels: dropName(series.Labels), T: ts, V: v})
+		out = append(out, VSample{Labels: al.dropName(series.Labels), T: ts, V: v})
 	}
-	out.Sort()
+	al.sortVec(out)
 	return out, nil
 }
 
 // applyVectorMath maps a simple vector→vector math function over vec.
 // scalars holds the evaluated trailing scalar arguments (round's
 // nearest, clamp's bounds).
-func applyVectorMath(name string, vec Vector, scalars []float64) Vector {
+func applyVectorMath(al *alloc, name string, vec Vector, scalars []float64) Vector {
 	apply := func(v float64) float64 {
 		switch name {
 		case "abs":
@@ -170,13 +172,13 @@ func applyVectorMath(name string, vec Vector, scalars []float64) Vector {
 		}
 		return math.NaN()
 	}
-	out := make(Vector, 0, len(vec))
+	out := al.vec(len(vec))
 	for _, s := range vec {
 		v := apply(s.V)
 		if name == "timestamp" {
 			v = float64(s.T) / 1000
 		}
-		out = append(out, VSample{Labels: dropName(s.Labels), T: s.T, V: v})
+		out = append(out, VSample{Labels: al.dropName(s.Labels), T: s.T, V: v})
 	}
 	switch name {
 	case "sort":
@@ -189,7 +191,7 @@ func applyVectorMath(name string, vec Vector, scalars []float64) Vector {
 
 // histogramQuantileVector implements classic histogram quantiles over
 // <metric>_bucket series with le labels.
-func histogramQuantileVector(phi float64, vec Vector, ts int64) Vector {
+func histogramQuantileVector(al *alloc, phi float64, vec Vector, ts int64) Vector {
 	groups := make(map[string][]bucket)
 	groupLabels := make(map[string]tsdb.Labels)
 	for _, s := range vec {
@@ -206,12 +208,12 @@ func histogramQuantileVector(phi float64, vec Vector, ts int64) Vector {
 		groups[key] = append(groups[key], bucket{le: le, count: s.V})
 		groupLabels[key] = rest
 	}
-	keys := make([]string, 0, len(groups))
+	keys := al.strs(len(groups))
 	for k := range groups {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	out := make(Vector, 0, len(keys))
+	out := al.vec(len(keys))
 	for _, k := range keys {
 		bs := groups[k]
 		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
@@ -232,8 +234,8 @@ func compileLabelReplace(pattern string) (*regexp.Regexp, error) {
 
 // labelReplaceVector rewrites dst from the expansion of repl against
 // src's match of re, per sample.
-func labelReplaceVector(vec Vector, re *regexp.Regexp, dst, repl, src string) Vector {
-	out := make(Vector, 0, len(vec))
+func labelReplaceVector(al *alloc, vec Vector, re *regexp.Regexp, dst, repl, src string) Vector {
+	out := al.vec(len(vec))
 	for _, s := range vec {
 		val := s.Labels.Get(src)
 		idx := re.FindStringSubmatchIndex(val)
@@ -253,35 +255,20 @@ func labelReplaceVector(vec Vector, re *regexp.Regexp, dst, repl, src string) Ve
 
 // aggregateVector applies the aggregation described by n to an already
 // evaluated input vector. param/strParam are n.Param's evaluated scalar
-// or string value.
-func aggregateVector(n *AggregateExpr, vec Vector, param float64, strParam string, ts int64) (Vector, error) {
-	groupOf := func(ls tsdb.Labels) tsdb.Labels {
-		if n.Without {
-			drop := append([]string{tsdb.MetricNameLabel}, n.Grouping...)
-			return ls.Without(drop...)
-		}
-		if len(n.Grouping) == 0 {
-			return nil
-		}
-		return ls.Keep(n.Grouping...)
-	}
-
-	type group struct {
-		labels tsdb.Labels
-		vals   []float64
-		elems  Vector // for topk/bottomk
-	}
-	groups := make(map[string]*group)
-	var order []string
+// or string value. Grouping labels and keys resolve through al's caches
+// (one derivation per stable input label set per query), and the group
+// accumulators live in al's reusable scratch slab.
+func aggregateVector(al *alloc, n *AggregateExpr, vec Vector, param float64, strParam string, ts int64) (Vector, error) {
+	sc := al.aggScratchFor(len(vec))
 	for _, s := range vec {
-		gl := groupOf(s.Labels)
-		key := gl.Key()
-		g, ok := groups[key]
+		gl, key := al.groupFor(n, s.Labels)
+		gi, ok := sc.idx[key]
 		if !ok {
-			g = &group{labels: gl}
-			groups[key] = g
-			order = append(order, key)
+			gi = sc.addGroup(gl)
+			sc.idx[key] = gi
+			sc.order = append(sc.order, key)
 		}
+		g := &sc.slab[gi]
 		if n.Op == AggCountValues {
 			g.elems = append(g.elems, s)
 		} else {
@@ -289,18 +276,18 @@ func aggregateVector(n *AggregateExpr, vec Vector, param float64, strParam strin
 			g.elems = append(g.elems, s)
 		}
 	}
-	sort.Strings(order)
+	sort.Strings(sc.order)
 
-	out := make(Vector, 0, len(groups))
-	for _, key := range order {
-		g := groups[key]
+	out := al.vec(len(sc.slab))
+	for _, key := range sc.order {
+		g := &sc.slab[sc.idx[key]]
 		switch n.Op {
 		case AggTopK, AggBottomK:
 			k := int(param)
 			if k <= 0 {
 				continue
 			}
-			elems := append(Vector(nil), g.elems...)
+			elems := append(al.vec(len(g.elems)), g.elems...)
 			if n.Op == AggTopK {
 				sort.SliceStable(elems, func(i, j int) bool { return elems[i].V > elems[j].V })
 			} else {
@@ -379,21 +366,21 @@ func aggregateVector(n *AggregateExpr, vec Vector, param float64, strParam strin
 		}
 		out = append(out, VSample{Labels: g.labels, T: ts, V: v})
 	}
-	out.Sort()
+	al.sortVec(out)
 	return out, nil
 }
 
 // applyBinary combines two evaluated operands under n's operator: set
 // ops, scalar/scalar arithmetic, vector/scalar broadcast, or
 // vector/vector matching.
-func applyBinary(n *BinaryExpr, lv, rv Value, ts int64) (Value, error) {
+func applyBinary(al *alloc, n *BinaryExpr, lv, rv Value, ts int64) (Value, error) {
 	if n.Op.isSetOp() {
 		lvec, lok := lv.(Vector)
 		rvec, rok := rv.(Vector)
 		if !lok || !rok {
 			return nil, fmt.Errorf("promql: set operator %s requires vectors", n.Op)
 		}
-		return evalSetOp(n, lvec, rvec), nil
+		return evalSetOp(al, n, lvec, rvec), nil
 	}
 	switch l := lv.(type) {
 	case Scalar:
@@ -407,14 +394,14 @@ func applyBinary(n *BinaryExpr, lv, rv Value, ts int64) (Value, error) {
 			}
 			return Scalar{T: ts, V: v}, nil
 		case Vector:
-			return vectorScalarOp(n, r, l.V, true, ts), nil
+			return vectorScalarOp(al, n, r, l.V, true, ts), nil
 		}
 	case Vector:
 		switch r := rv.(type) {
 		case Scalar:
-			return vectorScalarOp(n, l, r.V, false, ts), nil
+			return vectorScalarOp(al, n, l, r.V, false, ts), nil
 		case Vector:
-			return evalVectorVector(n, l, r, ts)
+			return evalVectorVector(al, n, l, r, ts)
 		}
 	}
 	return nil, fmt.Errorf("promql: unsupported operand types for %s", n.Op)

@@ -40,6 +40,16 @@ type windowOp interface {
 	window(p *part, ts int64) (Matrix, int64, int64, error)
 }
 
+// vecExecer is implemented by operators that statically produce instant
+// vectors. part.vector and the range executor's step loop prefer execVec
+// over exec: the concrete Vector return never crosses a Value interface
+// boundary, which on the batched hot path saved one heap allocation per
+// operator per step (the interface box).
+type vecExecer interface {
+	physOp
+	execVec(p *part, ts int64) (Vector, error)
+}
+
 // opMeta is embedded by every operator: its stats-slot index, assigned at
 // compile time so per-execution collection is a dense array update with
 // no lookups or allocation.
@@ -389,9 +399,9 @@ func (o *pNeg) exec(p *part, ts int64) (Value, error) {
 	case Scalar:
 		return Scalar{T: x.T, V: -x.V}, nil
 	case Vector:
-		out := make(Vector, len(x))
-		for i, s := range x {
-			out[i] = VSample{Labels: dropName(s.Labels), T: s.T, V: -s.V}
+		out := p.al.vec(len(x))
+		for _, s := range x {
+			out = append(out, VSample{Labels: p.al.dropName(s.Labels), T: s.T, V: -s.V})
 		}
 		return out, nil
 	}
@@ -407,6 +417,14 @@ type pScan struct {
 }
 
 func (o *pScan) exec(p *part, ts int64) (Value, error) {
+	v, err := o.execVec(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (o *pScan) execVec(p *part, ts int64) (Vector, error) {
 	out := p.instant(o.scanIdx, o.cur, ts-o.offMs, ts)
 	p.noteSamples(o.sx, len(out))
 	if err := p.account(len(out)); err != nil {
@@ -489,7 +507,7 @@ func (o *pSubquery) window(p *part, ts int64) (Matrix, int64, int64, error) {
 			ms.Samples = append(ms.Samples, tsdb.Sample{T: t, V: s.V})
 		}
 	}
-	out := make(Matrix, 0, len(order))
+	out := p.al.mat(len(order))
 	for _, k := range order {
 		out = append(out, *acc[k])
 	}
@@ -511,6 +529,14 @@ type pRangeFunc struct {
 }
 
 func (o *pRangeFunc) exec(p *part, ts int64) (Value, error) {
+	v, err := o.execVec(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (o *pRangeFunc) execVec(p *part, ts int64) (Vector, error) {
 	matrix, start, end, err := p.window(o.arg, ts)
 	if err != nil {
 		return nil, err
@@ -525,7 +551,7 @@ func (o *pRangeFunc) exec(p *part, ts int64) (Value, error) {
 	if p.seriesPar && len(matrix) >= minSeriesForParallel {
 		return p.rangeFuncParallel(o.name, matrix, start, end, ts, scalarParam)
 	}
-	return applyRangeFunc(o.name, matrix, start, end, ts, scalarParam)
+	return applyRangeFunc(p.al, o.name, matrix, start, end, ts, scalarParam)
 }
 
 // pVectorMath applies a simple vector→vector math function.
@@ -537,11 +563,20 @@ type pVectorMath struct {
 }
 
 func (o *pVectorMath) exec(p *part, ts int64) (Value, error) {
+	v, err := o.execVec(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (o *pVectorMath) execVec(p *part, ts int64) (Vector, error) {
 	vec, err := p.vector(o.vec, ts)
 	if err != nil {
 		return nil, err
 	}
-	scalars := make([]float64, 0, len(o.scalars))
+	var sbuf [2]float64
+	scalars := sbuf[:0]
 	for _, sop := range o.scalars {
 		s, err := p.scalar(sop, ts)
 		if err != nil {
@@ -549,7 +584,7 @@ func (o *pVectorMath) exec(p *part, ts int64) (Value, error) {
 		}
 		scalars = append(scalars, s)
 	}
-	return applyVectorMath(o.name, vec, scalars), nil
+	return applyVectorMath(p.al, o.name, vec, scalars), nil
 }
 
 type pTime struct{ opMeta }
@@ -564,11 +599,19 @@ type pVectorFn struct {
 }
 
 func (o *pVectorFn) exec(p *part, ts int64) (Value, error) {
+	v, err := o.execVec(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (o *pVectorFn) execVec(p *part, ts int64) (Vector, error) {
 	s, err := p.scalar(o.arg, ts)
 	if err != nil {
 		return nil, err
 	}
-	return Vector{{Labels: nil, T: ts, V: s}}, nil
+	return append(p.al.vec(1), VSample{Labels: nil, T: ts, V: s}), nil
 }
 
 type pScalarFn struct {
@@ -593,6 +636,14 @@ type pAbsent struct {
 }
 
 func (o *pAbsent) exec(p *part, ts int64) (Value, error) {
+	v, err := o.execVec(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (o *pAbsent) execVec(p *part, ts int64) (Vector, error) {
 	v, err := p.vector(o.arg, ts)
 	if err != nil {
 		return nil, err
@@ -600,7 +651,7 @@ func (o *pAbsent) exec(p *part, ts int64) (Value, error) {
 	if len(v) > 0 {
 		return Vector{}, nil
 	}
-	return Vector{{Labels: nil, T: ts, V: 1}}, nil
+	return append(p.al.vec(1), VSample{Labels: nil, T: ts, V: 1}), nil
 }
 
 type pHistogram struct {
@@ -609,6 +660,14 @@ type pHistogram struct {
 }
 
 func (o *pHistogram) exec(p *part, ts int64) (Value, error) {
+	v, err := o.execVec(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (o *pHistogram) execVec(p *part, ts int64) (Vector, error) {
 	phi, err := p.scalar(o.phi, ts)
 	if err != nil {
 		return nil, err
@@ -617,7 +676,7 @@ func (o *pHistogram) exec(p *part, ts int64) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	return histogramQuantileVector(phi, vec, ts), nil
+	return histogramQuantileVector(p.al, phi, vec, ts), nil
 }
 
 type pLabelReplace struct {
@@ -629,6 +688,14 @@ type pLabelReplace struct {
 }
 
 func (o *pLabelReplace) exec(p *part, ts int64) (Value, error) {
+	v, err := o.execVec(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (o *pLabelReplace) execVec(p *part, ts int64) (Vector, error) {
 	vec, err := p.vector(o.vec, ts)
 	if err != nil {
 		return nil, err
@@ -636,7 +703,7 @@ func (o *pLabelReplace) exec(p *part, ts int64) (Value, error) {
 	if o.reErr != nil {
 		return nil, o.reErr
 	}
-	return labelReplaceVector(vec, o.re, o.dst, o.repl, o.src), nil
+	return labelReplaceVector(p.al, vec, o.re, o.dst, o.repl, o.src), nil
 }
 
 // pAgg groups and folds its input vector.
@@ -649,6 +716,14 @@ type pAgg struct {
 }
 
 func (o *pAgg) exec(p *part, ts int64) (Value, error) {
+	v, err := o.execVec(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (o *pAgg) execVec(p *part, ts int64) (Vector, error) {
 	vec, err := p.vector(o.child, ts)
 	if err != nil {
 		return nil, err
@@ -660,7 +735,7 @@ func (o *pAgg) exec(p *part, ts int64) (Value, error) {
 			return nil, err
 		}
 	}
-	return aggregateVector(o.ast, vec, param, o.strParam, ts)
+	return aggregateVector(p.al, o.ast, vec, param, o.strParam, ts)
 }
 
 // pBinary joins two operand batches. When both sides touch storage and
@@ -699,7 +774,7 @@ func (o *pBinary) exec(p *part, ts int64) (Value, error) {
 	if rerr != nil {
 		return nil, rerr
 	}
-	return applyBinary(o.ast, lv, rv, ts)
+	return applyBinary(p.al, o.ast, lv, rv, ts)
 }
 
 // pDistAgg is the distributed form of pAgg: the shard-local child subtree
@@ -722,6 +797,14 @@ type pDistAgg struct {
 }
 
 func (o *pDistAgg) exec(p *part, ts int64) (Value, error) {
+	v, err := o.execVec(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (o *pDistAgg) execVec(p *part, ts int64) (Vector, error) {
 	vec, err := o.childVector(p, ts)
 	if err != nil {
 		return nil, err
@@ -734,7 +817,7 @@ func (o *pDistAgg) exec(p *part, ts int64) (Value, error) {
 			return nil, err
 		}
 	}
-	return aggregateVector(o.ast, vec, param, o.strParam, ts)
+	return aggregateVector(p.al, o.ast, vec, param, o.strParam, ts)
 }
 
 // childVector produces the aggregation input: per-shard fan-out + merge

@@ -1,0 +1,7 @@
+//go:build race
+
+package promql
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// ceilings don't hold under its instrumentation, so those tests skip.
+const raceEnabled = true

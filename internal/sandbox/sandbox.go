@@ -34,6 +34,10 @@ type Limits struct {
 	// MaxConcurrent caps queries evaluating at once (the engine gate);
 	// zero uses the engine default.
 	MaxConcurrent int
+	// BatchSize sets how many range-query steps stream through the
+	// operator tree per pooled batch: zero uses the engine default,
+	// negative evaluates the whole range as one batch.
+	BatchSize int
 }
 
 // DefaultLimits returns production-shaped limits.
@@ -87,6 +91,9 @@ func New(db tsdb.Storage, limits Limits) *Executor {
 	}
 	if limits.MaxConcurrent > 0 {
 		opts.MaxConcurrent = limits.MaxConcurrent
+	}
+	if limits.BatchSize != 0 {
+		opts.BatchSize = limits.BatchSize
 	}
 	return &Executor{engine: promql.NewEngine(db, opts), limits: limits}
 }

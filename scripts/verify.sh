@@ -13,6 +13,9 @@ go test -race ./...
 echo ">> go test ./... with DIO_TSDB_SHARDS=4 (distributed executor leg)"
 DIO_TSDB_SHARDS=4 go test ./internal/promql/ ./internal/tsdb/ ./internal/ingest/
 
+echo ">> go test ./internal/promql/ with DIO_PROMQL_NOPOOL=1 (arena pooling off leg)"
+DIO_PROMQL_NOPOOL=1 go test ./internal/promql/
+
 # Opt-in: substrate micro-benchmarks with allocation reporting, plus the
 # perf gates — the plan-based executor must hold >= 1.5x over the legacy
 # evaluator on the dashboard query mix, and the durable ingest path must
@@ -29,6 +32,8 @@ if [ "${VERIFY_BENCH:-0}" = "1" ]; then
 	go run ./cmd/dio-bench -experiment ingest -short
 	echo ">> dio-bench shard scaling curve (VERIFY_BENCH=1)"
 	go run ./cmd/dio-bench -experiment shard -short
+	echo ">> dio-bench batch gate (VERIFY_BENCH=1)"
+	go run ./cmd/dio-bench -experiment batch -short
 	echo ">> crash-recovery smoke (VERIFY_BENCH=1)"
 	./scripts/crash_smoke.sh
 	echo ">> crash-recovery smoke, 4-shard store (VERIFY_BENCH=1)"
