@@ -27,6 +27,10 @@
 //	                                batched step vectors vs per-step
 //	                                materialization (allocs/op), and peak
 //	                                intermediate bytes on multi-day ranges
+//	dio-bench -experiment multitenant  multi-tenant serving: thousands of
+//	                                Zipf-skewed tenants over consistent-hash
+//	                                cache replicas, with a quota-capped
+//	                                abusive tenant isolation gate
 //	dio-bench -experiment all       everything above
 package main
 
@@ -70,7 +74,7 @@ func fatal(msg string, err error) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, engine, trace, querystats, throughput, ingest, shard, batch, all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig1, table3a, table3b, cost, setup, ablations, engine, trace, querystats, throughput, ingest, shard, batch, multitenant, all")
 	size := flag.Int("questions", benchmark.DefaultSize, "benchmark size")
 	seed := flag.Int64("seed", 7, "benchmark generation seed")
 	verbose := flag.Bool("v", false, "print per-task breakdowns")
@@ -111,6 +115,7 @@ func main() {
 	run("ingest", (*env1).ingest)
 	run("shard", (*env1).shard)
 	run("batch", (*env1).batch)
+	run("multitenant", (*env1).multitenant)
 }
 
 // env1 carries the shared experiment environment: the catalog, the

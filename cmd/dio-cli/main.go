@@ -26,6 +26,7 @@ import (
 	"dio/internal/obs"
 	"dio/internal/promql"
 	"dio/internal/sandbox"
+	"dio/internal/tenant"
 	"dio/internal/tsdb"
 )
 
@@ -43,6 +44,7 @@ func main() {
 	duration := flag.Duration("duration", time.Hour, "simulated trace length")
 	explain := flag.Bool("explain", false, "print the captured request trace (span tree) after each answer")
 	analyze := flag.Bool("analyze", false, "profile the generated query and print its EXPLAIN ANALYZE plan after each answer")
+	tenantID := flag.String("tenant", "", "run the session as this tenant (catalog overlays and audit attribution; empty = default tenant)")
 	flag.Parse()
 
 	fmt.Fprintln(os.Stderr, "dio-cli: preparing the operator environment…")
@@ -75,6 +77,9 @@ func main() {
 	cp.Executor().SetAudit(sandbox.NewAuditLog(256, nil))
 
 	ctx := context.Background()
+	if *tenantID != "" {
+		ctx = tenant.WithID(ctx, tenant.Normalize(*tenantID))
+	}
 	if *analyze {
 		ctx = core.WithAnalyze(ctx)
 	}

@@ -32,6 +32,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,8 +45,10 @@ import (
 	"dio/internal/ingest"
 	"dio/internal/llm"
 	"dio/internal/obs"
+	"dio/internal/router"
 	"dio/internal/sandbox"
 	"dio/internal/servecache"
+	"dio/internal/tenant"
 	"dio/internal/tsdb"
 )
 
@@ -65,6 +69,10 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 30*time.Second, "answer freshness window: cached answers expire once the TSDB head advances past this bucket")
 	maxInflight := flag.Int("max-inflight", 64, "concurrent answer computations admitted (0 disables the gate)")
 	queueWait := flag.Duration("queue-wait", 2*time.Second, "longest a request waits for an admission slot before 429")
+	replicas := flag.Int("replicas", defaultReplicas(), "in-process serving replicas: >1 distributes tenants across K answer-cache fronts via a consistent-hash ring (default from DIO_REPLICAS)")
+	tenantShare := flag.Int("tenant-share", 0, "answer-cache entries one tenant may hold (0 lets a tenant use a whole replica's cache)")
+	tenantQuotas := flag.String("tenant-quotas", "", "per-tenant admission QPS quotas, e.g. 'acme=5:10:2,*=1' (tenant=rate[:burst[:weight]], '*' is the default quota)")
+	tenantTokens := flag.String("tenant-tokens", "", "bearer-token tenant mapping, e.g. 'tok1=acme,tok2=umbrella'")
 	dataDir := flag.String("data-dir", "", "durable ingest directory (WAL + checkpoints); enables POST /api/v1/write, empty runs memory-only")
 	walFsync := flag.Duration("wal-fsync-interval", 25*time.Millisecond, "WAL group-commit window: appends are acknowledged once the next periodic fsync covers them (0 syncs every batch)")
 	retention := flag.Duration("retention", 0, "drop samples older than this behind the TSDB head (0 keeps everything)")
@@ -237,29 +245,74 @@ func main() {
 	if *traceCapacity > 0 {
 		apiOpts = append(apiOpts, httpapi.WithTracing(cp.Tracer()))
 	}
-	// Serving-throughput layer: answer cache keyed by (question, catalog
-	// version, TSDB-head bucket) with singleflight, plus the admission
-	// gate bounding concurrent pipeline runs.
-	var front *servecache.Front[*core.Answer]
-	if *cacheSize > 0 {
-		front = servecache.NewFront(servecache.FrontConfig[*core.Answer]{
-			Size:    *cacheSize,
-			TTL:     *cacheTTL,
-			Version: cat.Version,
-			Head:    db.HeadTime,
-			Compute: cp.Ask,
-		})
-		front.Instrument(reg)
-		logger.Info("answer cache enabled", "size", *cacheSize, "ttl", *cacheTTL)
+	// Serving-throughput layer: tenant-keyed answer cache(s) with
+	// singleflight, plus the weighted-fair admission gate bounding
+	// concurrent pipeline runs. With -replicas K > 1 a consistent-hash
+	// ring pins each tenant to one of K independent cache fronts.
+	nReplicas := *replicas
+	if nReplicas < 1 {
+		nReplicas = 1
 	}
-	var gate *servecache.Gate
+	var answerFront httpapi.AnswerFront
+	if *cacheSize > 0 {
+		frontCfg := func(size int) servecache.FrontConfig[*core.Answer] {
+			return servecache.FrontConfig[*core.Answer]{
+				Size:          size,
+				TenantShare:   *tenantShare,
+				TTL:           *cacheTTL,
+				Version:       cat.Version,
+				TenantVersion: cp.TenantVersion,
+				Head:          db.HeadTime,
+				Compute:       cp.Ask,
+			}
+		}
+		if nReplicas > 1 {
+			perReplica := *cacheSize / nReplicas
+			if perReplica < 1 {
+				perReplica = 1
+			}
+			fronts := make([]*servecache.Front[*core.Answer], nReplicas)
+			for i := range fronts {
+				fronts[i] = servecache.NewFront(frontCfg(perReplica))
+			}
+			pool := router.NewPool(fronts, 0)
+			pool.Instrument(reg)
+			answerFront = pool
+			logger.Info("answer cache enabled", "replicas", nReplicas,
+				"size_per_replica", perReplica, "tenant_share", *tenantShare, "ttl", *cacheTTL)
+		} else {
+			front := servecache.NewFront(frontCfg(*cacheSize))
+			front.Instrument(reg)
+			answerFront = front
+			logger.Info("answer cache enabled", "size", *cacheSize,
+				"tenant_share", *tenantShare, "ttl", *cacheTTL)
+		}
+	}
+	var admitter httpapi.Admitter
 	if *maxInflight > 0 {
-		gate = servecache.NewGate(*maxInflight, *queueWait)
+		gate := servecache.NewGate(*maxInflight, *queueWait)
+		if *tenantQuotas != "" {
+			quotas, err := tenant.ParseQuotas(*tenantQuotas)
+			if err != nil {
+				fatal("parsing -tenant-quotas", err)
+			}
+			gate.SetQuotas(quotas)
+			logger.Info("tenant quotas enabled", "tenants", len(quotas))
+		}
 		gate.Instrument(reg)
+		admitter = gate
 		logger.Info("admission gate enabled", "max_inflight", *maxInflight, "queue_wait", *queueWait)
 	}
-	if front != nil || gate != nil {
-		apiOpts = append(apiOpts, httpapi.WithServing(front, gate))
+	if answerFront != nil || admitter != nil {
+		apiOpts = append(apiOpts, httpapi.WithServingLayer(answerFront, admitter))
+	}
+	if *tenantTokens != "" {
+		tokens, err := parseTokens(*tenantTokens)
+		if err != nil {
+			fatal("parsing -tenant-tokens", err)
+		}
+		apiOpts = append(apiOpts, httpapi.WithTenantTokens(tokens))
+		logger.Info("tenant bearer tokens enabled", "tokens", len(tokens))
 	}
 	if *debug {
 		apiOpts = append(apiOpts, httpapi.WithPprof())
@@ -393,6 +446,30 @@ func saveIssues(t *feedback.Tracker, path string) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// defaultReplicas reads the DIO_REPLICAS environment variable so CI legs
+// and deployments can set the replica count without editing flags.
+func defaultReplicas() int {
+	if s := os.Getenv("DIO_REPLICAS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+// parseTokens parses a comma-separated "token=tenant" bearer-token map.
+func parseTokens(spec string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, part := range splitComma(spec) {
+		i := strings.IndexByte(part, '=')
+		if i <= 0 || i == len(part)-1 {
+			return nil, fmt.Errorf("token mapping %q: want token=tenant", part)
+		}
+		out[strings.TrimSpace(part[:i])] = part[i+1:]
+	}
+	return out, nil
 }
 
 func splitComma(s string) []string {

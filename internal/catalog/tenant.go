@@ -1,0 +1,158 @@
+package catalog
+
+import (
+	"sort"
+
+	"dio/internal/tenant"
+)
+
+// This file adds tenant-scoped overlays to the domain-specific database:
+// every tenant shares the vendor-shipped base corpus, while expert
+// contributions made on behalf of a tenant land in that tenant's overlay —
+// visible only to its own lookups, with an independent version counter so
+// serving-layer caches invalidate per tenant instead of globally.
+// Contributions for tenant.Default keep the pre-tenancy behaviour: they go
+// straight into the shared base database.
+
+// tenantOverlay is one tenant's private delta over the base database.
+// Guarded by the database mutex.
+type tenantOverlay struct {
+	metrics   map[string]*Metric
+	functions []*FunctionDef
+	version   uint64
+}
+
+// overlayLocked returns (creating if needed) a tenant's overlay. Callers
+// hold the write lock.
+func (db *Database) overlayLocked(id string) *tenantOverlay {
+	if db.overlays == nil {
+		db.overlays = make(map[string]*tenantOverlay)
+	}
+	ov, ok := db.overlays[id]
+	if !ok {
+		ov = &tenantOverlay{metrics: make(map[string]*Metric)}
+		db.overlays[id] = ov
+		db.noverlays.Add(1)
+	}
+	return ov
+}
+
+// TenantVersion returns the monotonic contribution counter a tenant's
+// cached answers must key on: the shared base version plus the tenant's
+// overlay version. A base contribution invalidates everyone; a
+// tenant-scoped one invalidates that tenant alone.
+func (db *Database) TenantVersion(id string) uint64 {
+	base := db.version.Load()
+	// Lock-free fast path: with no overlays anywhere (the common serving
+	// state) every tenant keys on the base version. This keeps the
+	// per-request version probe off the database mutex entirely.
+	if id == tenant.Default || db.noverlays.Load() == 0 {
+		return base
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if ov, ok := db.overlays[id]; ok {
+		return base + ov.version
+	}
+	return base
+}
+
+// LookupTenant returns the metric a tenant sees under name: its overlay
+// entry when one exists, the shared base entry otherwise.
+func (db *Database) LookupTenant(id, name string) (*Metric, bool) {
+	if id == tenant.Default {
+		return db.Lookup(name)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if ov, ok := db.overlays[id]; ok {
+		if m, ok := ov.metrics[name]; ok {
+			return m, true
+		}
+	}
+	m, ok := db.byName[name]
+	return m, ok
+}
+
+// AddTenantMetricDoc records expert-contributed documentation on behalf of
+// a tenant. The default tenant writes to the shared base database
+// (identical to AddExpertMetricDoc); any other tenant gets a
+// copy-on-write overlay entry layered over the base metric, and only that
+// tenant's overlay version is bumped.
+func (db *Database) AddTenantMetricDoc(id, name, description, expert string) *Metric {
+	if id == tenant.Default {
+		return db.AddExpertMetricDoc(name, description, expert)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ov := db.overlayLocked(id)
+	ov.version++
+	base := ov.metrics[name]
+	if base == nil {
+		base = db.byName[name]
+	}
+	if base != nil {
+		m := new(Metric)
+		*m = *base
+		m.Description = description + " (Expert note by " + expert + ".) " + base.Description
+		m.Expert = expert
+		ov.metrics[name] = m
+		return m
+	}
+	m := &Metric{Name: name, Description: description, Expert: expert, Type: Counter}
+	ov.metrics[name] = m
+	return m
+}
+
+// AddTenantFunction registers a bespoke function contributed on behalf of
+// a tenant: shared for the default tenant, overlay-private otherwise.
+func (db *Database) AddTenantFunction(id string, f *FunctionDef) {
+	if id == tenant.Default {
+		db.AddFunction(f)
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ov := db.overlayLocked(id)
+	ov.functions = append(ov.functions, f)
+	ov.version++
+}
+
+// FunctionsSnapshotTenant returns the bespoke functions a tenant sees:
+// the shared base set followed by its overlay's private additions.
+func (db *Database) FunctionsSnapshotTenant(id string) []*FunctionDef {
+	if id == tenant.Default {
+		return db.FunctionsSnapshot()
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := append([]*FunctionDef(nil), db.Functions...)
+	if ov, ok := db.overlays[id]; ok {
+		out = append(out, ov.functions...)
+	}
+	return out
+}
+
+// TenantOverlayStats reports a tenant's overlay size (docs and functions)
+// and version; zeros for tenants without an overlay.
+func (db *Database) TenantOverlayStats(id string) (metrics, functions int, version uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if ov, ok := db.overlays[id]; ok {
+		return len(ov.metrics), len(ov.functions), ov.version
+	}
+	return 0, 0, 0
+}
+
+// OverlayTenants returns the tenants with overlays, sorted (introspection
+// and tests).
+func (db *Database) OverlayTenants() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.overlays))
+	for id := range db.overlays {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

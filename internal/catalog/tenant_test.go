@@ -1,0 +1,148 @@
+package catalog
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dio/internal/tenant"
+)
+
+func overlayTestDB() *Database {
+	return NewDatabase([]*Metric{
+		{Name: "amfcc_n1_auth_request", NF: "amf", Service: "cc", Procedure: "authentication", Variant: "request", Type: Counter, Description: "The number of authentication requests sent by AMF."},
+		{Name: "smfpdu_n4_session_est", NF: "smf", Service: "pdu", Procedure: "session-establishment", Variant: "request", Type: Counter, Description: "The number of PDU session establishment requests."},
+	}, []*FunctionDef{
+		{Name: "rate_of", Description: "Per-second rate.", Inputs: "one counter", Outputs: "rate", Template: "rate(%s[5m])", Arity: 1},
+	})
+}
+
+func TestTenantOverlayIsolation(t *testing.T) {
+	db := overlayTestDB()
+	base, _ := db.Lookup("amfcc_n1_auth_request")
+
+	m := db.AddTenantMetricDoc("acme", "amfcc_n1_auth_request", "Acme counts retries too.", "acme-noc")
+	if !strings.HasPrefix(m.Description, "Acme counts retries too. (Expert note by acme-noc.) ") {
+		t.Fatalf("overlay description = %q", m.Description)
+	}
+
+	// Acme sees its overlay entry; everyone else still sees the base entry.
+	got, ok := db.LookupTenant("acme", "amfcc_n1_auth_request")
+	if !ok || got != m {
+		t.Fatalf("acme lookup = %v, want overlay entry", got)
+	}
+	if got, _ := db.LookupTenant("umbrella", "amfcc_n1_auth_request"); got != base {
+		t.Fatal("another tenant observed acme's overlay")
+	}
+	if got, _ := db.Lookup("amfcc_n1_auth_request"); got != base {
+		t.Fatal("base database mutated by tenant contribution")
+	}
+	if got, _ := db.LookupTenant(tenant.Default, "amfcc_n1_auth_request"); got != base {
+		t.Fatal("default tenant observed acme's overlay")
+	}
+
+	// Metrics without an overlay entry fall through to the base.
+	if got, ok := db.LookupTenant("acme", "smfpdu_n4_session_est"); !ok || got.NF != "smf" {
+		t.Fatalf("acme base fall-through = %v ok=%v", got, ok)
+	}
+}
+
+func TestTenantOverlayVersionCounters(t *testing.T) {
+	db := overlayTestDB()
+	v0 := db.Version()
+	if db.TenantVersion("acme") != v0 || db.TenantVersion(tenant.Default) != v0 {
+		t.Fatal("fresh tenants must report the base version")
+	}
+
+	db.AddTenantMetricDoc("acme", "amfcc_n1_auth_request", "note", "x")
+	if db.Version() != v0 {
+		t.Fatal("tenant contribution bumped the shared base version")
+	}
+	if db.TenantVersion("acme") != v0+1 {
+		t.Fatalf("acme version = %d, want %d", db.TenantVersion("acme"), v0+1)
+	}
+	if db.TenantVersion("umbrella") != v0 {
+		t.Fatal("acme contribution bumped another tenant's version")
+	}
+
+	// A default-tenant (shared) contribution bumps everyone.
+	db.AddTenantMetricDoc(tenant.Default, "smfpdu_n4_session_est", "shared note", "y")
+	if db.Version() != v0+1 {
+		t.Fatalf("base version = %d, want %d", db.Version(), v0+1)
+	}
+	if db.TenantVersion("acme") != v0+2 || db.TenantVersion("umbrella") != v0+1 {
+		t.Fatalf("versions acme=%d umbrella=%d", db.TenantVersion("acme"), db.TenantVersion("umbrella"))
+	}
+}
+
+func TestTenantOverlayFunctions(t *testing.T) {
+	db := overlayTestDB()
+	nbase := len(db.FunctionsSnapshot())
+
+	db.AddTenantFunction("acme", &FunctionDef{Name: "acme_ratio", Description: "Acme-private ratio.", Template: "%s/%s", Arity: 2})
+	if got := len(db.FunctionsSnapshotTenant("acme")); got != nbase+1 {
+		t.Fatalf("acme functions = %d, want %d", got, nbase+1)
+	}
+	if got := len(db.FunctionsSnapshotTenant("umbrella")); got != nbase {
+		t.Fatalf("umbrella sees %d functions, want %d (acme's private function leaked)", got, nbase)
+	}
+	if got := len(db.FunctionsSnapshot()); got != nbase {
+		t.Fatal("tenant function landed in the shared base set")
+	}
+	if _, ok := db.LookupFunction("acme_ratio"); ok {
+		t.Fatal("tenant-private function visible through the shared lookup")
+	}
+
+	// Default-tenant functions go to the shared base, as before tenancy.
+	db.AddTenantFunction(tenant.Default, &FunctionDef{Name: "shared_fn", Template: "%s", Arity: 1})
+	if _, ok := db.LookupFunction("shared_fn"); !ok {
+		t.Fatal("default-tenant function missing from the shared base")
+	}
+	if got := len(db.FunctionsSnapshotTenant("acme")); got != nbase+2 {
+		t.Fatalf("acme must see shared+private functions, got %d", got)
+	}
+}
+
+func TestTenantOverlayNewMetricAndStats(t *testing.T) {
+	db := overlayTestDB()
+	db.AddTenantMetricDoc("acme", "acme_custom_counter", "A counter only acme exports.", "acme-noc")
+	if _, ok := db.Lookup("acme_custom_counter"); ok {
+		t.Fatal("tenant-private metric visible in base lookups")
+	}
+	if m, ok := db.LookupTenant("acme", "acme_custom_counter"); !ok || m.Expert != "acme-noc" {
+		t.Fatalf("acme private metric = %v ok=%v", m, ok)
+	}
+	// Stacking a second note layers over the overlay entry, not the base.
+	db.AddTenantMetricDoc("acme", "acme_custom_counter", "Second note.", "acme-sre")
+	m, _ := db.LookupTenant("acme", "acme_custom_counter")
+	if !strings.Contains(m.Description, "A counter only acme exports.") || !strings.HasPrefix(m.Description, "Second note.") {
+		t.Fatalf("stacked overlay description = %q", m.Description)
+	}
+	metrics, functions, version := db.TenantOverlayStats("acme")
+	if metrics != 1 || functions != 0 || version != 2 {
+		t.Fatalf("overlay stats = (%d,%d,%d), want (1,0,2)", metrics, functions, version)
+	}
+	if got := db.OverlayTenants(); len(got) != 1 || got[0] != "acme" {
+		t.Fatalf("OverlayTenants = %v", got)
+	}
+}
+
+func TestTenantOverlayConcurrent(t *testing.T) {
+	db := overlayTestDB()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := []string{"a", "b", "c", tenant.Default}
+			for i := 0; i < 200; i++ {
+				id := ids[(w+i)%len(ids)]
+				db.AddTenantMetricDoc(id, "amfcc_n1_auth_request", "note", "e")
+				db.LookupTenant(id, "amfcc_n1_auth_request")
+				db.TenantVersion(id)
+				db.FunctionsSnapshotTenant(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -150,6 +150,13 @@ type Database struct {
 	byProc   map[string][]*Metric
 	funcByID map[string]*FunctionDef
 
+	// overlays holds per-tenant deltas over the shared base corpus (see
+	// tenant.go). Lazily created; nil until the first tenant contribution.
+	// noverlays mirrors len(overlays) so TenantVersion's hot path can
+	// skip the mutex while no overlays exist.
+	overlays  map[string]*tenantOverlay
+	noverlays atomic.Uint64
+
 	// version counts contributions. Serving-layer cache keys fold it in,
 	// so every expert contribution invalidates cached answers instantly.
 	version atomic.Uint64

@@ -20,6 +20,7 @@ import (
 	"dio/internal/obs"
 	"dio/internal/promql"
 	"dio/internal/sandbox"
+	"dio/internal/tenant"
 	"dio/internal/tsdb"
 )
 
@@ -258,6 +259,25 @@ func (c *Copilot) Tracer() *obs.Tracer {
 // Catalog returns the domain-specific database.
 func (c *Copilot) Catalog() *catalog.Database { return c.db }
 
+// TenantVersion returns the combined knowledge version one tenant's cached
+// answers depend on: the catalog version plus the retriever version, each
+// folding in that tenant's private overlay counter. The serving-layer
+// answer cache keys on it, so a contribution — shared or tenant-scoped —
+// makes exactly the affected tenants' stale answers unaddressable.
+func (c *Copilot) TenantVersion(id string) uint64 {
+	return c.db.TenantVersion(id) + c.retriever.TenantVersion(id)
+}
+
+// AddTenantDoc records an expert metric contribution on behalf of a
+// tenant, updating both the catalog (documentation shown in answers) and
+// the retriever (so the tenant's next question can retrieve it). The
+// default tenant contributes to the shared base, exactly as the feedback
+// loop did before tenancy.
+func (c *Copilot) AddTenantDoc(id, name, description, expert string) error {
+	m := c.db.AddTenantMetricDoc(id, name, description, expert)
+	return c.retriever.AddDocumentTenant(id, catalog.Document{ID: m.Name, Text: m.Doc(), Metric: m})
+}
+
 // evalTime resolves the evaluation instant.
 func (c *Copilot) evalTime() time.Time {
 	if !c.opts.EvalTime.IsZero() {
@@ -353,10 +373,12 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 		return nil, fmt.Errorf("core: empty question")
 	}
 	a := &Answer{Question: question, TraceID: obs.SpanFrom(ctx).TraceID()}
+	tid := tenant.From(ctx)
 
-	// 1. Context extraction: top-K semantically closest text samples.
+	// 1. Context extraction: top-K semantically closest text samples, as
+	// seen by the requesting tenant (shared corpus + its private overlay).
 	_, sp := obs.StartSpan(ctx, "retrieve")
-	scored := c.retriever.RetrieveScored(question, c.opts.TopK)
+	scored := c.retriever.RetrieveScoredTenant(tid, question, c.opts.TopK)
 	a.Context = make([]llm.ContextDoc, len(scored))
 	for i, s := range scored {
 		a.Context[i] = s.Doc
@@ -418,7 +440,7 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 	_, sp = obs.StartSpan(ctx, "prompt-build")
 	selDocs := make([]llm.ContextDoc, 0, len(selResp.Metrics))
 	for _, name := range selResp.Metrics {
-		if d, ok := c.retriever.Doc(name); ok {
+		if d, ok := c.retriever.DocTenant(tid, name); ok {
 			selDocs = append(selDocs, llm.ContextDoc{ID: d.ID, Text: llm.TruncateToTokens(d.Text, 24)})
 		} else {
 			selDocs = append(selDocs, llm.ContextDoc{ID: name})
@@ -458,7 +480,7 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 	// Describe the selected metrics.
 	for _, name := range genResp.Metrics {
 		sm := SelectedMetric{Name: name}
-		if m, ok := c.db.Lookup(name); ok {
+		if m, ok := c.db.LookupTenant(tid, name); ok {
 			sm.Description = m.Description
 			sm.Known = true
 		}
@@ -498,7 +520,7 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 	// Annotate the answer when the generated query instantiates one of
 	// the domain-specific database's bespoke function recipes (§3.1).
 	if a.Query != "" {
-		for _, fn := range c.db.FunctionsSnapshot() {
+		for _, fn := range c.db.FunctionsSnapshotTenant(tid) {
 			if fn.Arity != len(genResp.Metrics) {
 				continue
 			}
@@ -512,7 +534,7 @@ func (c *Copilot) ask(ctx context.Context, question string) (*Answer, error) {
 	// 5. Dashboard generation for the relevant metrics.
 	var known []*catalog.Metric
 	for _, sm := range a.Metrics {
-		if m, ok := c.db.Lookup(sm.Name); ok {
+		if m, ok := c.db.LookupTenant(tid, sm.Name); ok {
 			known = append(known, m)
 		}
 	}

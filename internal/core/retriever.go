@@ -10,6 +10,7 @@ import (
 	"dio/internal/llm"
 	"dio/internal/obs"
 	"dio/internal/servecache"
+	"dio/internal/tenant"
 	"dio/internal/vecstore"
 )
 
@@ -33,6 +34,13 @@ type Retriever struct {
 	mu    sync.RWMutex
 	index vecstore.Index
 	docs  map[string]catalog.Document
+
+	// tenants holds per-tenant overlay indexes (see tenantretriever.go).
+	// Lazily created; nil until the first tenant-scoped contribution.
+	// ntenants mirrors len(tenants) so TenantVersion's hot path can skip
+	// the mutex while no overlays exist.
+	tenants  map[string]*tenantIndex
+	ntenants atomic.Uint64
 
 	// version counts indexed documents over time. Retrieval-cache entries
 	// record the version they were computed at and are ignored once it
@@ -141,43 +149,11 @@ type ScoredDoc struct {
 // RetrieveScored returns the top-k documents semantically closest to the
 // query with their similarity scores, best first. Results are served from
 // the retrieval cache when the document set has not changed since they
-// were computed; a version mismatch recomputes, reusing nothing.
+// were computed; a version mismatch recomputes, reusing nothing. Tenant
+// overlays are not consulted: this is the default tenant's view (see
+// RetrieveScoredTenant).
 func (r *Retriever) RetrieveScored(query string, k int) []ScoredDoc {
-	ver := r.version.Load()
-	cache := r.cache.Load()
-	var qv embedding.Vector
-	if cache != nil {
-		if e, ok := cache.Get(query); ok && e.version == ver {
-			if e.k == k {
-				r.countLookup("hit")
-				return append([]ScoredDoc(nil), e.scored...)
-			}
-			// Same corpus, different k: the embedding is still valid.
-			qv = e.vec
-		}
-		r.countLookup("miss")
-	}
-	if qv == nil {
-		qv = r.model.Embed(query)
-	}
-	r.mu.RLock()
-	hits := r.index.Search(qv, k)
-	out := make([]ScoredDoc, 0, len(hits))
-	for _, h := range hits {
-		d, ok := r.docs[h.ID]
-		if !ok {
-			continue
-		}
-		out = append(out, ScoredDoc{Doc: llm.ContextDoc{ID: d.ID, Text: d.Text}, Score: h.Score})
-	}
-	r.mu.RUnlock()
-	if cache != nil {
-		cache.Put(query, retrievalEntry{
-			version: ver, k: k, vec: qv,
-			scored: append([]ScoredDoc(nil), out...),
-		})
-	}
-	return out
+	return r.RetrieveScoredTenant(tenant.Default, query, k)
 }
 
 func (r *Retriever) countLookup(outcome string) {

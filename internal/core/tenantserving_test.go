@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dio/internal/catalog"
+	"dio/internal/core"
+	"dio/internal/fivegsim"
+	"dio/internal/llm"
+	"dio/internal/servecache"
+	"dio/internal/tenant"
+	"dio/internal/tsdb"
+)
+
+// tenantServingEnv is a private mutable environment with a tenant-keyed
+// answer-cache front over the copilot, mirroring the dio-server wiring.
+type tenantServingEnv struct {
+	cat   *catalog.Database
+	cp    *core.Copilot
+	front *servecache.Front[*core.Answer]
+}
+
+func newTenantServingEnv(t *testing.T) *tenantServingEnv {
+	t.Helper()
+	cat := catalog.Generate()
+	db := tsdb.New()
+	cfg := fivegsim.DefaultConfig()
+	cfg.Duration = 20 * time.Minute
+	if _, err := fivegsim.Populate(db, cat, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := core.New(core.Config{Catalog: cat, TSDB: db, Model: llm.MustNew("gpt-4")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := servecache.NewFront(servecache.FrontConfig[*core.Answer]{
+		Size: 256, TenantShare: 32, TTL: time.Hour,
+		Version: cat.Version, TenantVersion: cp.TenantVersion, Head: db.HeadTime,
+		Compute: cp.Ask,
+	})
+	return &tenantServingEnv{cat: cat, cp: cp, front: front}
+}
+
+// TestTenantContributionIsolation drives the multi-tenant knowledge loop
+// end to end: an expert contribution on behalf of tenant acme must change
+// acme's answers (invalidating only acme's cache entries) while another
+// tenant keeps both its cached answer and the vendor-only view.
+func TestTenantContributionIsolation(t *testing.T) {
+	e := newTenantServingEnv(t)
+	acme := tenant.WithID(context.Background(), "acme")
+	umb := tenant.WithID(context.Background(), "umbrella")
+	const q = "What is the current registration storm indicator?"
+
+	aBefore, st, err := e.front.Do(acme, q, false)
+	if err != nil || st != servecache.StatusMiss {
+		t.Fatalf("acme first ask: st=%v err=%v", st, err)
+	}
+	if _, st, _ = e.front.Do(umb, q, false); st != servecache.StatusMiss {
+		t.Fatalf("umbrella first ask: st=%v, want miss (tenant-keyed cache)", st)
+	}
+
+	// Contribution lands for acme only.
+	v0 := e.cp.TenantVersion("umbrella")
+	if err := e.cp.AddTenantDoc("acme", "amfcc_initial_registration_attempt",
+		"The registration storm indicator is this counter's fleet-wide total.", "acme-noc"); err != nil {
+		t.Fatal(err)
+	}
+	if e.cp.TenantVersion("acme") == e.cat.Version()+e.cp.Retriever().Version() {
+		t.Fatal("acme contribution did not move acme's combined version")
+	}
+	if e.cp.TenantVersion("umbrella") != v0 {
+		t.Fatal("acme contribution moved umbrella's version")
+	}
+
+	aAfter, st, err := e.front.Do(acme, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != servecache.StatusMiss {
+		t.Fatalf("acme post-contribution ask: st=%v, want miss (version-invalidated)", st)
+	}
+	if !strings.Contains(aAfter.Query, "amfcc_initial_registration_attempt") {
+		t.Fatalf("acme answer ignores its expert doc: query = %q", aAfter.Query)
+	}
+	if core.RenderAnswer(aAfter) == core.RenderAnswer(aBefore) {
+		t.Fatal("acme answer unchanged after its contribution")
+	}
+
+	// Umbrella still hits its cached, vendor-only answer.
+	uCached, st, err := e.front.Do(umb, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != servecache.StatusHit {
+		t.Fatalf("umbrella post-contribution ask: st=%v, want hit (acme must not invalidate umbrella)", st)
+	}
+	if strings.Contains(uCached.Query, "amfcc_initial_registration_attempt") {
+		t.Fatalf("umbrella answer leaked acme's expert doc: query = %q", uCached.Query)
+	}
+}
+
+// TestTenantDefaultByteIdentity pins the back-compat contract: a request
+// without tenant identity produces an answer byte-identical to an explicit
+// default-tenant request, and both share one cache slot.
+func TestTenantDefaultByteIdentity(t *testing.T) {
+	e := newTenantServingEnv(t)
+	const q = "How many PDU sessions are currently active?"
+
+	bare, st, err := e.front.Do(context.Background(), q, false)
+	if err != nil || st != servecache.StatusMiss {
+		t.Fatalf("bare ask: st=%v err=%v", st, err)
+	}
+	def, st, err := e.front.Do(tenant.WithID(context.Background(), tenant.Default), q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != servecache.StatusHit {
+		t.Fatalf("default-tenant ask: st=%v, want hit of the bare-context entry", st)
+	}
+	if core.RenderAnswer(bare) != core.RenderAnswer(def) {
+		t.Fatal("default-tenant answer differs from the bare-context answer")
+	}
+
+	// A default-tenant contribution behaves exactly like the pre-tenancy
+	// shared path: base version bump, every tenant invalidated.
+	v0 := e.cat.Version()
+	if err := e.cp.AddTenantDoc(tenant.Default, "smfsm_pdu_sessions_active",
+		"Sessions currently active, fleet-wide.", "r.nakamura"); err != nil {
+		t.Fatal(err)
+	}
+	if e.cat.Version() == v0 {
+		t.Fatal("default-tenant contribution did not bump the shared catalog version")
+	}
+	if _, st, _ := e.front.Do(context.Background(), q, false); st != servecache.StatusMiss {
+		t.Fatalf("post-contribution bare ask: st=%v, want miss", st)
+	}
+}

@@ -4,10 +4,12 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -22,6 +24,7 @@ import (
 	"dio/internal/promql"
 	"dio/internal/sandbox"
 	"dio/internal/servecache"
+	"dio/internal/tenant"
 )
 
 // TraceIDHeader carries the request trace ID in both directions: clients
@@ -34,6 +37,25 @@ const TraceIDHeader = "X-DIO-Trace-ID"
 // followers), "miss" (computed and cached), or "bypass" (nocache/explain
 // request, or no serving layer attached).
 const CacheHeader = "X-DIO-Cache"
+
+// TenantHeader names the requesting tenant. Requests without it (and
+// without a mapped bearer token) run as the default tenant, reproducing
+// the pre-tenancy behaviour exactly. The value is normalized (lowercased,
+// restricted charset, bounded length) before use.
+const TenantHeader = "X-DIO-Tenant"
+
+// AnswerFront is the answer-cache surface the ask path serves through: a
+// single *servecache.Front or a router.Pool spreading tenants over K
+// replica fronts.
+type AnswerFront interface {
+	Do(ctx context.Context, question string, bypass bool) (*core.Answer, servecache.Status, error)
+}
+
+// Admitter is the admission-control surface bounding concurrent answer
+// computations (servecache.FairGate in production).
+type Admitter interface {
+	Acquire(ctx context.Context) (release func(), err error)
+}
 
 // Server wires the copilot, executor and feedback tracker into an
 // http.Handler.
@@ -57,8 +79,12 @@ type Server struct {
 	// front/gate form the serving-throughput layer (nil when off): the
 	// answer cache with singleflight in front of Ask, and the admission
 	// gate bounding concurrent answer computations.
-	front *servecache.Front[*core.Answer]
-	gate  *servecache.Gate
+	front AnswerFront
+	gate  Admitter
+
+	// tenantTokens maps bearer tokens to tenant IDs (nil disables
+	// token-based tenant mapping).
+	tenantTokens map[string]string
 
 	// ingest is the durable WAL-backed store behind POST /api/v1/write
 	// (nil when the server runs memory-only).
@@ -102,8 +128,44 @@ func WithTracing(tr *obs.Tracer) Option {
 // 429). Either may be nil to enable just one half.
 func WithServing(front *servecache.Front[*core.Answer], gate *servecache.Gate) Option {
 	return func(s *Server) {
-		s.front = front
-		s.gate = gate
+		// Assign through the concrete nil checks so a nil half stays a nil
+		// interface (a typed-nil AnswerFront would pass the s.front != nil
+		// guard and then panic).
+		if front != nil {
+			s.front = front
+		}
+		if gate != nil {
+			s.gate = gate
+		}
+	}
+}
+
+// WithServingLayer is WithServing for alternative implementations: a
+// router.Pool distributing tenants over K replica fronts, or a custom
+// admitter. Either may be nil.
+func WithServingLayer(front AnswerFront, gate Admitter) Option {
+	return func(s *Server) {
+		if front != nil {
+			s.front = front
+		}
+		if gate != nil {
+			s.gate = gate
+		}
+	}
+}
+
+// WithTenantTokens maps bearer tokens to tenant IDs: a request carrying
+// "Authorization: Bearer <token>" (and no explicit tenant header) runs as
+// the mapped tenant. Tenant IDs are normalized at registration.
+func WithTenantTokens(tokens map[string]string) Option {
+	return func(s *Server) {
+		if len(tokens) == 0 {
+			return
+		}
+		s.tenantTokens = make(map[string]string, len(tokens))
+		for tok, id := range tokens {
+			s.tenantTokens[tok] = tenant.Normalize(id)
+		}
 	}
 }
 
@@ -173,6 +235,22 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// tenantFor resolves the requesting tenant: the explicit tenant header
+// first, then a mapped bearer token, else the default tenant.
+func (s *Server) tenantFor(r *http.Request) string {
+	if id := tenant.Normalize(r.Header.Get(TenantHeader)); id != "" {
+		return id
+	}
+	if s.tenantTokens != nil {
+		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+			if id, ok := s.tenantTokens[strings.TrimPrefix(auth, "Bearer ")]; ok && id != "" {
+				return id
+			}
+		}
+	}
+	return tenant.Default
+}
+
 // traceable reports whether requests on path get a request-scoped trace.
 // Introspection and exposition endpoints are excluded: tracing the trace
 // reader would fill the store with its own reads.
@@ -191,6 +269,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if route == "" {
 		route = "unmatched"
 	}
+	// Tenant identity is stamped before the trace starts so every span,
+	// cache lookup, admission decision and query-log entry below sees it.
+	tid := s.tenantFor(r)
+	if tid != tenant.Default {
+		r = r.WithContext(tenant.WithID(r.Context(), tid))
+	}
 	var root *obs.Span
 	if s.tracer != nil && traceable(r.URL.Path) {
 		var opts []obs.TraceOption
@@ -202,6 +286,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			root = sp
 			sp.SetAttr("http.method", r.Method)
 			sp.SetAttr("http.path", r.URL.Path)
+			if tid != tenant.Default {
+				sp.SetAttr("tenant", tid)
+			}
 			w.Header().Set(TraceIDHeader, sp.TraceID())
 			r = r.WithContext(ctx)
 		}
@@ -363,6 +450,7 @@ func (s *Server) handleQueriesActive(w http.ResponseWriter, _ *http.Request) {
 type queryLogWire struct {
 	Query      string    `json:"query"`
 	Kind       string    `json:"kind"`
+	Tenant     string    `json:"tenant,omitempty"`
 	TraceID    string    `json:"trace_id,omitempty"`
 	Start      time.Time `json:"start"`
 	DurationMS float64   `json:"duration_ms"`
@@ -376,8 +464,12 @@ type queryLogWire struct {
 func queryLogRows(entries []obs.QueryLogEntry) []queryLogWire {
 	out := make([]queryLogWire, 0, len(entries))
 	for _, e := range entries {
+		tid := e.Tenant
+		if tid == tenant.Default {
+			tid = "" // omitted on the wire; pre-tenancy rows stay byte-identical
+		}
 		out = append(out, queryLogWire{
-			Query: e.Query, Kind: e.Kind, TraceID: e.TraceID, Start: e.Start,
+			Query: e.Query, Kind: e.Kind, Tenant: tid, TraceID: e.TraceID, Start: e.Start,
 			DurationMS: float64(e.Duration) / float64(time.Millisecond),
 			Samples:    e.Samples, Steps: e.Steps, Slow: e.Slow,
 			Error: e.Err, Plan: e.Plan,
@@ -480,10 +572,10 @@ type askMetric struct {
 }
 
 // admit takes an admission-gate slot before an answer computation, or
-// sheds the request: 429 with Retry-After when the queue wait expires,
-// 503 when the client context dies while queued. The release func must
-// be called once the computation finishes; ok=false means the response
-// is already written.
+// sheds the request: 429 with a quota-aware Retry-After when the tenant's
+// rate quota is exhausted or the queue wait expires, 503 when the client
+// context dies while queued. The release func must be called once the
+// computation finishes; ok=false means the response is already written.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	if s.gate == nil {
 		return func() {}, true
@@ -491,8 +583,8 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	release, err := s.gate.Acquire(r.Context())
 	if err != nil {
 		obs.SpanFrom(r.Context()).SetError(err)
-		if errors.Is(err, servecache.ErrOverloaded) {
-			w.Header().Set("Retry-After", "1")
+		if errors.Is(err, servecache.ErrOverloaded) || errors.Is(err, servecache.ErrQuotaExceeded) {
+			w.Header().Set("Retry-After", retryAfter(err))
 			s.writeErr(w, http.StatusTooManyRequests, err)
 		} else {
 			s.writeErr(w, http.StatusServiceUnavailable, err)
@@ -500,6 +592,21 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 		return nil, false
 	}
 	return release, true
+}
+
+// retryAfter renders the Retry-After header for a shed: the gate's
+// estimate of when the tenant's token bucket refills (or the queue
+// drains), in whole seconds rounded up, minimum 1.
+func retryAfter(err error) string {
+	var shed *servecache.ShedError
+	if errors.As(err, &shed) && shed.RetryAfter > 0 {
+		secs := int64(math.Ceil(shed.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		return strconv.FormatInt(secs, 10)
+	}
+	return "1"
 }
 
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {

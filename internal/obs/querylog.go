@@ -19,6 +19,7 @@ import (
 type QueryLogEntry struct {
 	Query    string
 	Kind     string // "instant" or "range"
+	Tenant   string // requesting tenant ("default" for untenanted queries)
 	TraceID  string // empty when the request was untraced
 	Start    time.Time
 	Duration time.Duration

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dio/internal/obs"
+	"dio/internal/tenant"
 	"dio/internal/tsdb"
 )
 
@@ -333,6 +334,7 @@ func (e *Engine) beginQuery(ctx context.Context, expr Expr, kind string) (contex
 		ent := obs.QueryLogEntry{
 			Query:    query,
 			Kind:     kind,
+			Tenant:   tenant.From(fctx),
 			TraceID:  traceID,
 			Start:    start,
 			Duration: time.Since(start),

@@ -1,0 +1,95 @@
+package router
+
+import (
+	"context"
+	"strconv"
+
+	"dio/internal/obs"
+	"dio/internal/servecache"
+	"dio/internal/tenant"
+)
+
+// Pool routes requests to one of K answer-cache fronts by the tenant on
+// the context. All replicas share one copilot pipeline underneath; what
+// the pool partitions is cache residency, so a tenant's answers live on
+// exactly one replica.
+type Pool[V any] struct {
+	ring   *Ring
+	fronts []*servecache.Front[V]
+
+	routed *obs.CounterVec // dio_replica_requests_total{replica}; nil w/o Instrument
+}
+
+// NewPool builds a pool over the given fronts (one per replica; at least
+// one required) with vnodes virtual nodes per replica (<=0 means
+// DefaultVnodes).
+func NewPool[V any](fronts []*servecache.Front[V], vnodes int) *Pool[V] {
+	if len(fronts) == 0 {
+		panic("router: NewPool requires at least one front")
+	}
+	return &Pool[V]{ring: New(len(fronts), vnodes), fronts: fronts}
+}
+
+// Replicas returns the replica count.
+func (p *Pool[V]) Replicas() int { return p.ring.Replicas() }
+
+// Replica returns the replica index owning a tenant.
+func (p *Pool[V]) Replica(tenantID string) int { return p.ring.Lookup(tenantID) }
+
+// Fronts exposes the per-replica fronts (tests and stats endpoints).
+func (p *Pool[V]) Fronts() []*servecache.Front[V] { return p.fronts }
+
+// Do serves one question on the replica owning the context's tenant.
+func (p *Pool[V]) Do(ctx context.Context, question string, bypass bool) (V, servecache.Status, error) {
+	i := p.ring.Lookup(tenant.From(ctx))
+	if p.routed != nil {
+		p.routed.With(strconv.Itoa(i)).Inc()
+	}
+	return p.fronts[i].Do(ctx, question, bypass)
+}
+
+// Stats aggregates the per-replica front counters.
+func (p *Pool[V]) Stats() servecache.FrontStats {
+	var agg servecache.FrontStats
+	for _, f := range p.fronts {
+		s := f.Stats()
+		agg.Hits += s.Hits
+		agg.Misses += s.Misses
+		agg.Coalesced += s.Coalesced
+		agg.Bypasses += s.Bypasses
+		agg.Evictions += s.Evictions
+		agg.Entries += s.Entries
+		agg.Tenants += s.Tenants
+	}
+	return agg
+}
+
+// Purge drops every replica's cached entries and counters.
+func (p *Pool[V]) Purge() {
+	for _, f := range p.fronts {
+		f.Purge()
+	}
+}
+
+// Instrument registers the shared cache instruments on every replica's
+// front plus pool-level gauges: one summed dio_cache_entries (the fronts'
+// own entry gauges would overwrite each other — GaugeVec funcs are
+// last-writer-wins per label set) and per-replica request routing.
+func (p *Pool[V]) Instrument(reg *obs.Registry) {
+	for _, f := range p.fronts {
+		f.InstrumentShared(reg)
+	}
+	reg.GaugeVec("dio_cache_entries",
+		"Entries currently resident in a serving cache, by cache layer.", "", "cache").
+		Func(func() float64 {
+			n := 0
+			for _, f := range p.fronts {
+				n += f.Stats().Entries
+			}
+			return float64(n)
+		}, "answer")
+	p.routed = reg.CounterVec("dio_replica_requests_total",
+		"Requests routed to a serving replica by the tenant hash ring.", "", "replica")
+	reg.Gauge("dio_replica_count", "Serving replicas behind the tenant router.", "").
+		Set(float64(len(p.fronts)))
+}

@@ -1,0 +1,122 @@
+// Package router distributes tenants across K in-process serving replicas
+// with a consistent-hash ring. Each replica owns its own answer-cache
+// front (and, conceptually, the working set behind it), so a tenant's
+// requests always land on the same replica — its cache entries concentrate
+// instead of spreading K ways — and resizing the pool moves only the ring
+// segments between the old and new vnode positions, not every tenant.
+package router
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per replica. 128 vnodes keep the
+// per-replica load imbalance of a hash ring within a few percent.
+const DefaultVnodes = 128
+
+// lookupBuckets quantizes the hash space for the O(1) lookup table: a
+// bucket wholly owned by one vnode segment resolves with a single array
+// load; the few buckets a vnode boundary cuts through fall back to the
+// binary search. 8192 buckets against ~512 vnodes leave >90% of lookups
+// on the fast path.
+const lookupBuckets = 8192
+
+// Ring is an immutable consistent-hash ring over replica indices. Safe for
+// concurrent use.
+type Ring struct {
+	points   []ringPoint // sorted by hash
+	table    []int16     // hash-prefix bucket → replica, -1 where a vnode boundary splits the bucket
+	replicas int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// New builds a ring of the given replica count (minimum 1) with vnodes
+// virtual nodes per replica (<=0 means DefaultVnodes).
+func New(replicas, vnodes int) *Ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{replicas: replicas, points: make([]ringPoint, 0, replicas*vnodes)}
+	for rep := 0; rep < replicas; rep++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("replica-%d/vnode-%d", rep, v)), replica: rep})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].replica < r.points[j].replica
+	})
+	r.buildTable()
+	return r
+}
+
+// buildTable precomputes the bucket → replica table. A bucket containing
+// no vnode position maps every hash inside it to the same successor vnode,
+// so its owner can be resolved once here; buckets a vnode position falls
+// into stay -1 and keep the exact binary-search semantics.
+func (r *Ring) buildTable() {
+	const shift = 64 - 13 // log2(lookupBuckets) high bits index the table
+	r.table = make([]int16, lookupBuckets)
+	for i := range r.table {
+		r.table[i] = int16(r.lookupHash(uint64(i) << shift))
+	}
+	for _, p := range r.points {
+		r.table[p.hash>>shift] = -1
+	}
+}
+
+// lookupHash resolves a raw ring position to its owning replica by binary
+// search — the exact, slow path.
+func (r *Ring) lookupHash(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].replica
+}
+
+// Replicas returns the replica count the ring was built for.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Lookup returns the replica owning key: the first vnode clockwise from
+// the key's hash. Deterministic across processes (the hash has no seed).
+// Lookup sits on the per-request serving path, so most keys resolve with
+// one table load; only hashes landing in a boundary bucket binary-search
+// the vnode array.
+func (r *Ring) Lookup(key string) int {
+	h := hash64(key)
+	if rep := r.table[h>>(64-13)]; rep >= 0 {
+		return int(rep)
+	}
+	return r.lookupHash(h)
+}
+
+// hash64 is FNV-1a over the key (inlined — the stdlib hash.Hash64 route
+// allocates a []byte conversion per lookup), finished with a
+// splitmix64-style mixer: raw FNV clusters on short structured keys
+// ("replica-0/vnode-1", ...), which skews ring segment sizes badly. Vnode
+// positions and tenant lookups share it, so the layout is stable across
+// builds and processes.
+func hash64(key string) uint64 {
+	z := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		z ^= uint64(key[i])
+		z *= 1099511628211
+	}
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

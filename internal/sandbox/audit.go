@@ -3,6 +3,8 @@ package sandbox
 import (
 	"sync"
 	"time"
+
+	"dio/internal/tenant"
 )
 
 // This file addresses the paper's §5.4 safety challenge: "safety concerns
@@ -26,7 +28,10 @@ type AuditEntry struct {
 	Time    time.Time `json:"time"`
 	Query   string    `json:"query"`
 	Outcome Outcome   `json:"outcome"`
-	Error   string    `json:"error,omitempty"`
+	// Tenant attributes the submission to the requesting tenant (omitted
+	// for default-tenant queries, keeping pre-tenancy entries identical).
+	Tenant string `json:"tenant,omitempty"`
+	Error  string `json:"error,omitempty"`
 	// Plan is the compact execution plan the engine compiled for the
 	// query (empty when the query never reached the planner, or when a
 	// legacy oracle path is forced on): the reviewable record of what
@@ -57,12 +62,16 @@ func NewAuditLog(limit int, clock func() time.Time) *AuditLog {
 	return &AuditLog{entries: make([]AuditEntry, limit), limit: limit, clock: clock}
 }
 
-// record appends one entry, evicting the oldest at capacity.
-func (a *AuditLog) record(query string, plan string, outcome Outcome, err error, d time.Duration) {
+// record appends one entry, evicting the oldest at capacity. The default
+// tenant is recorded as "" so pre-tenancy entries stay byte-identical.
+func (a *AuditLog) record(query, tenantID, plan string, outcome Outcome, err error, d time.Duration) {
 	if a == nil {
 		return
 	}
-	e := AuditEntry{Time: a.clock(), Query: query, Plan: plan, Outcome: outcome, Duration: d}
+	if tenantID == tenant.Default {
+		tenantID = ""
+	}
+	e := AuditEntry{Time: a.clock(), Query: query, Tenant: tenantID, Plan: plan, Outcome: outcome, Duration: d}
 	if err != nil {
 		e.Error = err.Error()
 	}

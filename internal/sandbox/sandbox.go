@@ -15,6 +15,7 @@ import (
 
 	"dio/internal/obs"
 	"dio/internal/promql"
+	"dio/internal/tenant"
 	"dio/internal/tsdb"
 )
 
@@ -254,7 +255,7 @@ func (e *Executor) Execute(ctx context.Context, query string, ts time.Time) (pro
 	v, plan, err := e.execute(ctx, query, ts)
 	d := time.Since(started)
 	outcome := outcomeOf(err)
-	e.audit.record(query, plan, outcome, err, d)
+	e.audit.record(query, tenant.From(ctx), plan, outcome, err, d)
 	e.observe(outcome, err, d)
 	annotate(ctx, query, outcome, err)
 	return v, err

@@ -1,8 +1,6 @@
 package servecache
 
 import (
-	"container/list"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 )
@@ -15,56 +13,128 @@ const lruShards = 16
 // LRU is a sharded, concurrency-safe least-recently-used cache with string
 // keys. Capacity is enforced per shard (total ≈ the requested size), so a
 // pathological key distribution can only over-evict, never over-retain.
+//
+// Entries are intrusive doubly-linked nodes stored directly as map values:
+// a cache hit costs one map probe plus a pointer splice, with no interface
+// boxing or side allocations on the hot serving path. The header fields
+// sit before the shard array so a single-shard tenant cache touches one
+// contiguous region per lookup.
 type LRU[V any] struct {
-	shards    [lruShards]lruShard[V]
+	nshards   uint32
 	perShard  int
 	evictions atomic.Uint64
+	shards    [lruShards]lruShard[V]
 }
 
 type lruShard[V any] struct {
 	mu    sync.Mutex
-	order *list.List // front = most recently used
-	items map[string]*list.Element
+	items map[string]*lruNode[V]
+	// head/tail of the recency list: head = most recently used. The list
+	// is circular through the nodes only (nil-terminated at both ends).
+	head, tail *lruNode[V]
+	len        int
 }
 
-type lruEntry[V any] struct {
-	key string
-	val V
+type lruNode[V any] struct {
+	next, prev *lruNode[V]
+	key        string
+	val        V
 }
 
 // NewLRU returns a cache holding approximately size entries (at least one
 // per shard).
 func NewLRU[V any](size int) *LRU[V] {
-	per := (size + lruShards - 1) / lruShards
-	if per < 1 {
-		per = 1
-	}
-	c := &LRU[V]{perShard: per}
-	for i := range c.shards {
-		c.shards[i].order = list.New()
-		c.shards[i].items = make(map[string]*list.Element)
-	}
+	return newLRUSharded[V](size, lruShards)
+}
+
+// newLRUSharded builds a cache with an explicit shard count: capacity is
+// enforced per shard, so small caches (per-tenant capacity shares) use a
+// single shard to keep the bound exact, while large shared caches keep
+// full sharding for lock-contention spread.
+func newLRUSharded[V any](size, nshards int) *LRU[V] {
+	c := new(LRU[V])
+	initLRU(c, size, nshards)
 	return c
 }
 
+// initLRU initialises an LRU in place (callers embedding one by value).
+func initLRU[V any](c *LRU[V], size, nshards int) {
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards > lruShards {
+		nshards = lruShards
+	}
+	per := (size + nshards - 1) / nshards
+	if per < 1 {
+		per = 1
+	}
+	c.perShard, c.nshards = per, uint32(nshards)
+	for i := 0; i < nshards; i++ {
+		c.shards[i].items = make(map[string]*lruNode[V])
+	}
+}
+
 func (c *LRU[V]) shard(key string) *lruShard[V] {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &c.shards[h.Sum32()%lruShards]
+	if c.nshards == 1 {
+		return &c.shards[0]
+	}
+	// Inline FNV-1a: the stdlib hash.Hash32 route forces the key through
+	// an interface and a []byte conversion that allocates per lookup.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%c.nshards]
+}
+
+// moveToFront splices n to the head of the shard's recency list. Callers
+// hold the shard lock.
+func (s *lruShard[V]) moveToFront(n *lruNode[V]) {
+	if s.head == n {
+		return
+	}
+	// Unlink.
+	n.prev.next = n.next
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	// Push front.
+	n.prev = nil
+	n.next = s.head
+	s.head.prev = n
+	s.head = n
+}
+
+// pushFront links a new node at the head. Callers hold the shard lock.
+func (s *lruShard[V]) pushFront(n *lruNode[V]) {
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	} else {
+		s.tail = n
+	}
+	s.head = n
+	s.len++
 }
 
 // Get returns the cached value for key and marks it most recently used.
 func (c *LRU[V]) Get(key string) (V, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.items[key]
+	n, ok := s.items[key]
 	if !ok {
+		s.mu.Unlock()
 		var zero V
 		return zero, false
 	}
-	s.order.MoveToFront(el)
-	return el.Value.(*lruEntry[V]).val, true
+	s.moveToFront(n)
+	v := n.val
+	s.mu.Unlock()
+	return v, true
 }
 
 // Put stores val under key, evicting the least recently used entry of the
@@ -73,18 +143,27 @@ func (c *LRU[V]) Put(key string, val V) bool {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
-		el.Value.(*lruEntry[V]).val = val
-		s.order.MoveToFront(el)
+	if n, ok := s.items[key]; ok {
+		n.val = val
+		s.moveToFront(n)
 		return false
 	}
-	s.items[key] = s.order.PushFront(&lruEntry[V]{key: key, val: val})
-	if s.order.Len() <= c.perShard {
+	n := &lruNode[V]{key: key, val: val}
+	s.items[key] = n
+	s.pushFront(n)
+	if s.len <= c.perShard {
 		return false
 	}
-	oldest := s.order.Back()
-	s.order.Remove(oldest)
-	delete(s.items, oldest.Value.(*lruEntry[V]).key)
+	oldest := s.tail
+	s.tail = oldest.prev
+	if s.tail != nil {
+		s.tail.next = nil
+	} else {
+		s.head = nil
+	}
+	oldest.prev = nil
+	s.len--
+	delete(s.items, oldest.key)
 	c.evictions.Add(1)
 	return true
 }
@@ -92,10 +171,10 @@ func (c *LRU[V]) Put(key string, val V) bool {
 // Len returns the number of cached entries.
 func (c *LRU[V]) Len() int {
 	n := 0
-	for i := range c.shards {
+	for i := 0; i < int(c.nshards); i++ {
 		s := &c.shards[i]
 		s.mu.Lock()
-		n += s.order.Len()
+		n += s.len
 		s.mu.Unlock()
 	}
 	return n
@@ -106,10 +185,10 @@ func (c *LRU[V]) Evictions() uint64 { return c.evictions.Load() }
 
 // Purge drops every entry (tests and explicit cache flushes).
 func (c *LRU[V]) Purge() {
-	for i := range c.shards {
+	for i := 0; i < int(c.nshards); i++ {
 		s := &c.shards[i]
 		s.mu.Lock()
-		s.order.Init()
+		s.head, s.tail, s.len = nil, nil, 0
 		clear(s.items)
 		s.mu.Unlock()
 	}

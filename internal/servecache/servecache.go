@@ -66,7 +66,63 @@ func (s Status) Cached() bool { return s == StatusHit || s == StatusCoalesced }
 // answer is always a real pipeline answer for some phrasing of the
 // question.
 func Normalize(q string) string {
-	q = strings.ToLower(strings.TrimSpace(q))
-	q = strings.TrimRight(q, "?!. \t")
-	return strings.Join(strings.Fields(q), " ")
+	var b strings.Builder
+	b.Grow(len(q))
+	appendNormalized(&b, q)
+	return b.String()
+}
+
+// appendNormalized writes Normalize(q) into b. ASCII questions (the hot
+// serving path — Key normalizes on every lookup) take a single-pass,
+// allocation-free route; anything with multi-byte runes falls back to the
+// legacy stdlib pipeline for exact Unicode semantics.
+func appendNormalized(b *strings.Builder, q string) {
+	for i := 0; i < len(q); i++ {
+		if q[i] >= 0x80 {
+			qq := strings.ToLower(strings.TrimSpace(q))
+			qq = strings.TrimRight(qq, "?!. \t")
+			b.WriteString(strings.Join(strings.Fields(qq), " "))
+			return
+		}
+	}
+	// Trailing whitespace first (TrimSpace), then trailing punctuation.
+	end := len(q)
+	for end > 0 && asciiSpace(q[end-1]) {
+		end--
+	}
+	for end > 0 {
+		switch q[end-1] {
+		case '?', '!', '.', ' ', '\t':
+			end--
+			continue
+		}
+		break
+	}
+	// Lower-case and collapse whitespace runs to single spaces. wrote
+	// tracks this call's output only: b may arrive with a key prefix.
+	pending, wrote := false, false
+	for i := 0; i < end; i++ {
+		c := q[i]
+		if asciiSpace(c) {
+			pending = wrote
+			continue
+		}
+		if pending {
+			b.WriteByte(' ')
+			pending = false
+		}
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b.WriteByte(c)
+		wrote = true
+	}
+}
+
+func asciiSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
 }

@@ -1,0 +1,99 @@
+package tenant
+
+import (
+	"context"
+	"testing"
+)
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := From(ctx); got != Default {
+		t.Fatalf("From(empty ctx) = %q, want %q", got, Default)
+	}
+	ctx = WithID(ctx, "acme")
+	if got := From(ctx); got != "acme" {
+		t.Fatalf("From = %q, want acme", got)
+	}
+	if got := From(WithID(context.Background(), "")); got != Default {
+		t.Fatalf("From(WithID empty) = %q, want %q", got, Default)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"  Acme  ", "acme"},
+		{"Team/42", "team-42"},
+		{"ok_name.v2-x", "ok_name.v2-x"},
+		{"Ümlaut", "--mlaut"}, // Ü is two UTF-8 bytes, each mapped to '-'
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if got := Normalize(string(long)); len(got) != maxIDLen {
+		t.Errorf("Normalize(long) length = %d, want %d", len(got), maxIDLen)
+	}
+}
+
+func TestParseQuotas(t *testing.T) {
+	m, err := ParseQuotas("default=50, acme=200:400:4 ,probe=10:10,*=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := m["acme"]; q.Rate != 200 || q.Burst != 400 || q.Weight != 4 {
+		t.Fatalf("acme quota = %+v", q)
+	}
+	if q := m["default"]; q.Rate != 50 || q.NormBurst() != 50 || q.NormWeight() != 1 {
+		t.Fatalf("default quota = %+v", q)
+	}
+	if q := m["probe"]; q.NormBurst() != 10 {
+		t.Fatalf("probe burst = %+v", q)
+	}
+	if q, ok := m["*"]; !ok || q.Rate != 5 {
+		t.Fatalf("wildcard quota = %+v ok=%v", q, ok)
+	}
+	if m2, err := ParseQuotas("  "); err != nil || len(m2) != 0 {
+		t.Fatalf("empty spec: %v %v", m2, err)
+	}
+	for _, bad := range []string{"acme", "acme=x", "acme=1:y", "acme=1:2:z", "=1", "acme=1:2:3:4"} {
+		if _, err := ParseQuotas(bad); err == nil {
+			t.Errorf("ParseQuotas(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestQuotaDefaults(t *testing.T) {
+	var q Quota
+	if !q.Unlimited() || q.NormWeight() != 1 || q.NormBurst() != 1 {
+		t.Fatalf("zero quota: unlimited=%v weight=%d burst=%g", q.Unlimited(), q.NormWeight(), q.NormBurst())
+	}
+	q = Quota{Rate: 8}
+	if q.Unlimited() || q.NormBurst() != 8 {
+		t.Fatalf("rate-only quota: %+v burst=%g", q, q.NormBurst())
+	}
+}
+
+func TestLabelCapper(t *testing.T) {
+	c := NewLabelCapper(2)
+	if got := c.Label("a"); got != "a" {
+		t.Fatalf("first label = %q", got)
+	}
+	if got := c.Label("b"); got != "b" {
+		t.Fatalf("second label = %q", got)
+	}
+	if got := c.Label("c"); got != Overflow {
+		t.Fatalf("over-cap label = %q, want %q", got, Overflow)
+	}
+	if got := c.Label("a"); got != "a" {
+		t.Fatalf("seen label after cap = %q", got)
+	}
+	if got := c.Label(Default); got != Default {
+		t.Fatalf("default label = %q", got)
+	}
+}

@@ -16,6 +16,9 @@ DIO_TSDB_SHARDS=4 go test ./internal/promql/ ./internal/tsdb/ ./internal/ingest/
 echo ">> go test ./internal/promql/ with DIO_PROMQL_NOPOOL=1 (arena pooling off leg)"
 DIO_PROMQL_NOPOOL=1 go test ./internal/promql/
 
+echo ">> tenant-aware suites with DIO_REPLICAS=4 (multi-tenant serving leg)"
+DIO_REPLICAS=4 go test ./internal/servecache/ ./internal/httpapi/ ./internal/router/ ./internal/tenant/
+
 # Opt-in: substrate micro-benchmarks with allocation reporting, plus the
 # perf gates — the plan-based executor must hold >= 1.5x over the legacy
 # evaluator on the dashboard query mix, and the durable ingest path must
@@ -34,6 +37,8 @@ if [ "${VERIFY_BENCH:-0}" = "1" ]; then
 	go run ./cmd/dio-bench -experiment shard -short
 	echo ">> dio-bench batch gate (VERIFY_BENCH=1)"
 	go run ./cmd/dio-bench -experiment batch -short
+	echo ">> dio-bench multitenant gate (VERIFY_BENCH=1)"
+	go run ./cmd/dio-bench -experiment multitenant -short
 	echo ">> crash-recovery smoke (VERIFY_BENCH=1)"
 	./scripts/crash_smoke.sh
 	echo ">> crash-recovery smoke, 4-shard store (VERIFY_BENCH=1)"
